@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench artifacts examples doctest lint-self all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+artifacts: bench
+	@ls benchmarks/output/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null \
+	    && echo ok || echo FAILED; done
+
+doctest:
+	pytest --doctest-modules src/repro -q
+
+all: install test bench doctest

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's artefacts (a figure, a
+table, or an engine-comparison series), asserts the properties the
+paper claims, and writes the rendered artefact to
+``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can reference it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a named artefact and echo it to the terminal report."""
+
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _save

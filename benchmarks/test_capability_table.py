@@ -1,0 +1,41 @@
+"""TAB6 (extension): the query-capability matrix per class.
+
+The paper's per-class discussion implies which query forms benefit
+from compilation; this table regenerates that judgement for one
+representative of each class and pins the paper's explicit per-query
+claims (s12's dvv vs vvd, s9's hopeless bindings, the stable
+formulas' universal pushdown)."""
+
+from repro.core import capability_table
+from repro.core.advisor import advise
+from repro.workloads import CATALOGUE
+
+REPRESENTATIVES = ("s1a", "s3", "s4", "s8", "s9", "s10", "s11", "s12")
+
+
+def test_tab6_capability_matrix(benchmark, save_artifact):
+    def build():
+        return {name: advise(CATALOGUE[name].system())
+                for name in REPRESENTATIVES}
+
+    matrices = benchmark(build)
+
+    # the paper's explicit per-query claims
+    s12 = {cap.adornment: cap for cap in matrices["s12"]}
+    assert s12[frozenset({0})].pushdown == "full"       # dvv: Example 14
+    assert s12[frozenset({2})].binding.prefix_length == 0  # vvd immediate
+    s9 = {cap.adornment: cap for cap in matrices["s9"]}
+    assert all(cap.pushdown == "none" for cap in s9.values())
+    s1a = {cap.adornment: cap for cap in matrices["s1a"]}
+    assert all(cap.pushdown == "full"
+               for adornment, cap in s1a.items() if adornment)
+    s8 = {cap.adornment: cap for cap in matrices["s8"]}
+    assert all(cap.pushdown == "finite" for cap in s8.values())
+
+    sections = []
+    for name in REPRESENTATIVES:
+        sections.append(f"== {name} "
+                        f"({CATALOGUE[name].paper_class}) ==")
+        sections.append(capability_table(CATALOGUE[name].system()))
+        sections.append("")
+    save_artifact("table6_capabilities", "\n".join(sections))

@@ -1,0 +1,68 @@
+"""TAB1: the section-3 classification applied to every paper example.
+
+This is the paper's central "table" (the class list (A)–(F) plus the
+per-example claims scattered through sections 4–10), regenerated in
+one pass and checked cell by cell against the catalogue's recorded
+paper claims.
+"""
+
+from repro.core import classification_table, classify
+from repro.workloads import CATALOGUE, PAPER_ORDER, paper_systems
+
+
+def test_tab1_classification_of_all_examples(benchmark, save_artifact):
+    systems = paper_systems()
+
+    def build():
+        return {name: classify(system)
+                for name, system in systems.items()}
+
+    results = benchmark(build)
+
+    mismatches = []
+    for name in PAPER_ORDER:
+        entry = CATALOGUE[name]
+        result = results[name]
+        cells = {
+            "class": (entry.paper_class, str(result.formula_class)),
+            "components": (entry.paper_components,
+                           "+".join(str(k)
+                                    for k in result.component_kinds)),
+            "stable": (entry.paper_stable, result.is_strongly_stable),
+            "transformable": (entry.paper_transformable,
+                              result.is_transformable),
+            "unfold": (entry.paper_unfold, result.unfold_times),
+            "bounded": (entry.paper_bounded, str(result.boundedness)),
+            "rank": (entry.paper_rank_bound, result.rank_bound),
+        }
+        for cell, (paper, measured) in cells.items():
+            if paper != measured:
+                mismatches.append((name, cell, paper, measured))
+    assert not mismatches, mismatches
+
+    table = classification_table(systems)
+    save_artifact("table1_classification", table)
+
+
+def test_tab1b_extended_corpus(benchmark, save_artifact):
+    """TAB1b (extension): the classifier over the corner-case corpus —
+    the branches the paper's own examples never reach (dependent-but-
+    bounded, the UNKNOWN corner, decorated stable formulas, LCM
+    mixes)."""
+    from repro.core import classification_table
+    from repro.workloads import EXTRA_CATALOGUE, extra_systems
+
+    systems = extra_systems()
+
+    def build():
+        return {name: classify(system)
+                for name, system in systems.items()}
+
+    results = benchmark(build)
+    for name, entry in EXTRA_CATALOGUE.items():
+        row = results[name].summary_row()
+        assert row["class"] == entry.paper_class, name
+        assert row["bounded"] == entry.paper_bounded, name
+        assert row["rank_bound"] == entry.paper_rank_bound, name
+    save_artifact("table1b_extended_corpus",
+                  classification_table(systems))

@@ -1,0 +1,79 @@
+"""PERF3: selection pushdown vs query selectivity.
+
+Sweep the query form of the stable 3-D formula (s3) from fully bound
+to fully free: every bound position cuts the compiled engine's work,
+while semi-naive always computes the whole fixpoint.  The crossover
+the paper's strategy implies: with nothing bound, compiled ≈ fixpoint
+evaluation (no selection to push)."""
+
+import pytest
+
+from repro.core import text_table
+from repro.engine import (CompiledEngine, EvaluationStats, Query,
+                          SemiNaiveEngine)
+from repro.workloads import CATALOGUE, random_digraph
+
+
+def _s3_database(nodes: int = 16, seed: int = 6):
+    from repro.ra import Database
+    return Database.from_dict({
+        "A": random_digraph(nodes, 2 * nodes, seed=seed),
+        "B": random_digraph(nodes, 2 * nodes, seed=seed + 1),
+        "C": random_digraph(nodes, 2 * nodes, seed=seed + 2),
+        "P__exit": [(f"v{i}", f"v{i}", f"v{i}") for i in range(nodes)],
+    })
+
+
+FORMS = ["ddd", "ddv", "dvv", "vvv"]
+
+
+def test_perf3_selectivity_sweep(benchmark, save_artifact):
+    system = CATALOGUE["s3"].system()
+    db = _s3_database()
+
+    def sweep():
+        rows = []
+        for form in FORMS:
+            pattern = tuple("v0" if ch == "d" else None for ch in form)
+            query = Query("P", pattern)
+            semi, comp = EvaluationStats(), EvaluationStats()
+            semi_answers = SemiNaiveEngine().evaluate(system, db, query,
+                                                      semi)
+            comp_answers = CompiledEngine().evaluate(system, db, query,
+                                                     comp)
+            assert semi_answers == comp_answers, form
+            rows.append((form, len(comp_answers), semi.probes,
+                         comp.probes))
+        return rows
+
+    rows = benchmark(sweep)
+    by_form = {form: comp for form, _, _, comp in rows}
+    # more bound positions -> less compiled work, monotonically
+    assert by_form["ddd"] <= by_form["ddv"] <= by_form["dvv"]
+    # selective queries: compiled does a fraction of semi-naive's work
+    semi_ddv = next(semi for form, _, semi, _ in rows if form == "ddv")
+    assert by_form["ddv"] < semi_ddv / 3
+    save_artifact("perf3_selectivity", text_table(
+        ["query form", "answers", "semi-naive probes",
+         "compiled probes"], [list(r) for r in rows]))
+
+
+@pytest.mark.parametrize("form", ["dv", "vd", "dd", "vv"])
+def test_perf3_tc_forms(benchmark, form):
+    """All four adornments of transitive closure stay correct and the
+    d-first form is the cheapest."""
+    from repro.ra import Database
+    from repro.workloads import chain, reflexive_exit
+    system = CATALOGUE["s1a"].system()
+    db = Database.from_dict({"A": chain(30),
+                             "P__exit": reflexive_exit(30)})
+    pattern = tuple("n5" if ch == "d" else None for ch in form)
+    query = Query("P", pattern)
+
+    def run():
+        stats = EvaluationStats()
+        answers = CompiledEngine().evaluate(system, db, query, stats)
+        return answers, stats
+
+    answers, stats = benchmark(run)
+    assert answers == SemiNaiveEngine().evaluate(system, db, query)

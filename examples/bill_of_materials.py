@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Bill of materials: parts explosion with a bounded side-constraint.
+
+Demonstrates two things on a manufacturing database:
+
+* the parts-explosion recursion (``contains``) — a stable class A
+  formula whose compiled evaluation walks only the queried assembly;
+* a *bounded* quality-audit rule shaped like the paper's (s8) — the
+  classifier proves it pseudo recursion, so it is evaluated as a fixed
+  finite union with no fixpoint at all.
+
+Run:  python examples/bill_of_materials.py
+"""
+
+from repro import (Boundedness, CompiledEngine, Database, Query,
+                   classify, parse_system, to_nonrecursive)
+from repro.engine import EvaluationStats, SemiNaiveEngine
+
+SUBPART = [
+    ("bike", "frame"), ("bike", "wheel"), ("bike", "drivetrain"),
+    ("wheel", "rim"), ("wheel", "spoke"), ("wheel", "hub"),
+    ("drivetrain", "chain"), ("drivetrain", "crank"),
+    ("crank", "arm"), ("crank", "bolt"),
+    ("frame", "tube"), ("frame", "weld"),
+]
+
+
+def parts_explosion() -> None:
+    system = parse_system("""
+        contains(x, y) :- subpart(x, z), contains(z, y).
+        contains(x, y) :- subpart(x, y).
+    """)
+    result = classify(system)
+    print("parts explosion:", result.describe(),
+          f"(stable: {result.is_strongly_stable})")
+
+    db = Database.from_dict({"subpart": SUBPART})
+    compiled, semi = EvaluationStats(), EvaluationStats()
+    query = Query.parse("contains(wheel, Y)")
+    answers = CompiledEngine().evaluate(system, db, query, compiled)
+    check = SemiNaiveEngine().evaluate(system, db, query, semi)
+    assert answers == check
+    parts = sorted(row[1] for row in answers)
+    print(f"  wheel transitively contains: {', '.join(parts)}")
+    print(f"  probes: compiled {compiled.probes} "
+          f"(vs semi-naive {semi.probes})")
+
+
+def bounded_audit() -> None:
+    """An (s8)-shaped rule: the audit trail provably cannot recurse
+    more than twice, so the engine flattens it."""
+    system = parse_system("""
+        audit(x, y, z, u) :- checked(x, y), batch(y1, u),
+                             lot(z1, u1), audit(z, y1, z1, u1).
+        audit(x, y, z, u) :- seed(x, y, z, u).
+    """)
+    result = classify(system)
+    print()
+    print("audit rule:", result.describe())
+    assert result.boundedness is Boundedness.BOUNDED
+    print(f"  bounded with rank ≤ {result.rank_bound} "
+          f"(pseudo recursion)")
+    flattened = to_nonrecursive(system)
+    print(f"  equivalent to {len(flattened)} non-recursive rules:")
+    for rule in flattened:
+        print(f"    {rule}")
+
+    db = Database.from_dict({
+        "checked": [("p1", "q1"), ("p2", "q2")],
+        "batch": [("q1", "b1"), ("q9", "b2")],
+        "lot": [("l1", "m1"), ("l2", "m2")],
+        "seed": [("p9", "q1", "l1", "m1")],
+    })
+    stats = EvaluationStats()
+    answers = CompiledEngine().evaluate(
+        system, db, Query.all_free("audit", 4), stats)
+    assert answers == SemiNaiveEngine().evaluate(system, db)
+    print(f"  {len(answers)} audit tuples, {stats.rounds} evaluation "
+          f"steps, no fixpoint")
+
+
+if __name__ == "__main__":
+    parts_explosion()
+    bounded_audit()

@@ -1,0 +1,7 @@
+"""Benchmark harness: engine runs, agreement checks, table rows."""
+
+from .harness import (ENGINES, POINT_HEADERS, EngineRun, ExperimentPoint,
+                      run_point)
+
+__all__ = ["ENGINES", "POINT_HEADERS", "EngineRun", "ExperimentPoint",
+           "run_point"]

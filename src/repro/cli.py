@@ -1,0 +1,285 @@
+"""Command-line interface: classify, plan, figure, run, table.
+
+Usage examples::
+
+    python -m repro classify "P(x, y) :- A(x, z), P(z, y)."
+    python -m repro plan --form dv "P(x, y) :- A(x, z), P(z, y)."
+    python -m repro figure --depth 2 "P(x, y) :- A(x, z), P(z, u), B(u, y)."
+    python -m repro table
+    python -m repro dossier s9
+    python -m repro run --engine compiled --query "P(a, Y)" program.dl
+
+The ``run`` command reads a program file containing the rules *and*
+ground facts; the other commands accept the rule text directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .core.bindings import adornment_from_string
+from .core.classifier import classify
+from .core.compile import compile_query
+from .core.advisor import capability_table
+from .core.lint import lint_text
+from .core.report import classification_table, formula_dossier
+from .datalog.errors import ReproError
+from .datalog.parser import parse_program, parse_system
+from .datalog.pretty import expansion_trace
+from .engine.compiled import CompiledEngine
+from .engine.naive import NaiveEngine
+from .engine.query import Query
+from .engine.seminaive import SemiNaiveEngine
+from .engine.stats import EvaluationStats
+from .engine.topdown import TopDownEngine
+from .engine.provenance import explain_answer
+from .graphs.render import ascii_figure, ascii_resolution, to_dot
+from .graphs.resolution import resolution_graph
+from .ra.database import Database
+
+_ENGINES = {"naive": NaiveEngine, "semi-naive": SemiNaiveEngine,
+            "compiled": CompiledEngine, "top-down": TopDownEngine}
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    system = parse_system(args.rule, strict=not args.loose)
+    result = classify(system)
+    if args.json:
+        print(json.dumps(result.to_dict(), ensure_ascii=False,
+                         indent=2))
+        return 0
+    print(result.describe())
+    row = result.summary_row()
+    print(f"stable: {row['stable']}   transformable: "
+          f"{row['transformable']}"
+          + (f" (unfold {row['unfold']}×)"
+             if row["unfold"] is not None else ""))
+    print(f"bounded: {row['bounded']}"
+          + (f" (rank ≤ {row['rank_bound']})"
+             if row["rank_bound"] is not None else ""))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    system = parse_system(args.rule, strict=not args.loose)
+    compiled = compile_query(system, adornment_from_string(args.form))
+    if args.json:
+        print(json.dumps(compiled.to_dict(), ensure_ascii=False,
+                         indent=2))
+        return 0
+    print(compiled.describe())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    system = parse_system(args.rule, strict=not args.loose)
+    if args.depth <= 1:
+        graph = classify(system).graph
+        print(to_dot(graph) if args.dot
+              else ascii_figure(graph, "I-graph:"))
+    else:
+        resolved = resolution_graph(system, args.depth)
+        print(to_dot(resolved.graph) if args.dot else ascii_resolution(
+            resolved, f"resolution graph, level {args.depth}:"))
+    return 0
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    system = parse_system(args.rule, strict=not args.loose)
+    print(expansion_trace(system, args.depth))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    system = parse_system(args.rule, strict=not args.loose)
+    print(capability_table(system))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.rule is not None:
+        text = args.rule
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    findings = lint_text(text)
+    if not findings:
+        print("clean: no findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1 if any(f.level == "error" for f in findings) else 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .workloads.formulas import paper_systems
+    print(classification_table(paper_systems()))
+    return 0
+
+
+def _cmd_dossier(args: argparse.Namespace) -> int:
+    from .workloads.formulas import CATALOGUE
+    entry = CATALOGUE.get(args.name)
+    if entry is None:
+        print(f"unknown formula {args.name!r}; known: "
+              f"{', '.join(sorted(CATALOGUE))}", file=sys.stderr)
+        return 2
+    print(formula_dossier(entry.name, entry.system(),
+                          query_forms=entry.query_forms))
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from .shell import run_shell
+    return run_shell()
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    with open(args.program, encoding="utf-8") as handle:
+        text = handle.read()
+    program = parse_program(text)
+    system = parse_system(text)
+    db = Database.from_program(program)
+    query = Query.parse(args.answer)
+    answers = CompiledEngine().evaluate(system, db, query)
+    if not answers:
+        print(f"no answers match {query}", file=sys.stderr)
+        return 1
+    for answer in sorted(answers, key=repr)[:args.limit]:
+        print(explain_answer(system, db, answer).render())
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.program, encoding="utf-8") as handle:
+        text = handle.read()
+    program = parse_program(text)
+    system = parse_system(text)
+    db = Database.from_program(program)
+    if args.query:
+        queries = [Query.parse(args.query)]
+    elif program.queries:
+        queries = [Query.from_atom(goal) for goal in program.queries]
+    else:
+        queries = [Query.all_free(system.predicate, system.dimension)]
+    engine = _ENGINES[args.engine]()
+    for query in queries:
+        stats = EvaluationStats()
+        answers = engine.evaluate(system, db, query, stats)
+        for row in sorted(answers, key=repr):
+            print(f"{system.predicate}"
+                  f"({', '.join(str(v) for v in row)})")
+        print(f"-- {query}: {len(answers)} answers   "
+              f"[{stats.summary()}]", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Classification of recursive formulas "
+                    "(SIGMOD 1988) — analysis and evaluation tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--loose", action="store_true",
+                       help="skip the range-restriction check")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
+
+    p_classify = sub.add_parser(
+        "classify", help="classify a recursive rule")
+    p_classify.add_argument("rule")
+    common(p_classify)
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_plan = sub.add_parser(
+        "plan", help="compile a query form against a rule")
+    p_plan.add_argument("rule")
+    p_plan.add_argument("--form", required=True,
+                        help="adornment, e.g. dvv")
+    common(p_plan)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_figure = sub.add_parser(
+        "figure", help="print the I-graph or a resolution graph")
+    p_figure.add_argument("rule")
+    p_figure.add_argument("--depth", type=int, default=1)
+    p_figure.add_argument("--dot", action="store_true",
+                          help="emit Graphviz DOT instead of text")
+    common(p_figure)
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_expand = sub.add_parser(
+        "expand", help="print the first k expansions of a rule")
+    p_expand.add_argument("rule")
+    p_expand.add_argument("--depth", type=int, default=3)
+    common(p_expand)
+    p_expand.set_defaults(func=_cmd_expand)
+
+    p_lint = sub.add_parser(
+        "lint", help="diagnostics for a rule or program file")
+    group = p_lint.add_mutually_exclusive_group(required=True)
+    group.add_argument("rule", nargs="?", default=None)
+    group.add_argument("--file")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_advise = sub.add_parser(
+        "advise", help="pushdown capability matrix over all query forms")
+    p_advise.add_argument("rule")
+    common(p_advise)
+    p_advise.set_defaults(func=_cmd_advise)
+
+    p_table = sub.add_parser(
+        "table", help="the classification table of all paper examples")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_dossier = sub.add_parser(
+        "dossier", help="full dossier for a named paper example")
+    p_dossier.add_argument("name")
+    p_dossier.set_defaults(func=_cmd_dossier)
+
+    p_shell = sub.add_parser(
+        "shell", help="interactive deductive-database shell")
+    p_shell.set_defaults(func=_cmd_shell)
+
+    p_prove = sub.add_parser(
+        "prove", help="derivation trees for the answers of a query")
+    p_prove.add_argument("program", help="file with rules and facts")
+    p_prove.add_argument("--answer", required=True,
+                         help="query pattern, e.g. 'P(a, Y)'")
+    p_prove.add_argument("--limit", type=int, default=3,
+                         help="max derivations to print")
+    p_prove.set_defaults(func=_cmd_prove)
+
+    p_run = sub.add_parser(
+        "run", help="evaluate a query over a program file with facts")
+    p_run.add_argument("program", help="file with rules and facts")
+    p_run.add_argument("--query", help="e.g. 'P(a, Y)'")
+    p_run.add_argument("--engine", choices=sorted(_ENGINES),
+                       default="compiled")
+    p_run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The paper's class taxonomy (section 3) as value objects.
+
+Two granularities:
+
+* :class:`ComponentClass` — the class of one non-trivial connected
+  component of the I-graph (the paper's analysis, Theorem 12, is
+  per-component);
+* :class:`FormulaClass` — the class of the whole formula, i.e. of the
+  disjoint combination of its components:
+
+  - a single kind of Ai (over any number of components) keeps that
+    label; different Ai kinds combine to A5;
+  - a single kind among B, C, D, E keeps that label (Theorem 6 and
+    friends treat such combinations uniformly);
+  - anything else is F (mixed).
+
+:class:`Boundedness` is the tri-state the boundedness analysis reports:
+the paper decides boundedness for every class except dependent
+components containing permutational patterns, which we honestly label
+UNKNOWN (Ioannidis's theorem, as the paper states it, presupposes no
+permutational pattern).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ComponentClass(enum.Enum):
+    """Class of one non-trivial I-graph component."""
+
+    A1 = "A1"  #: independent one-directional unit rotational cycle
+    A2 = "A2"  #: independent one-directional unit permutational cycle
+    A3 = "A3"  #: independent one-directional non-unit rotational cycle
+    A4 = "A4"  #: independent one-directional non-unit permutational cycle
+    B = "B"    #: independent multi-directional cycle of weight 0
+    C = "C"    #: independent multi-directional cycle of non-zero weight
+    D = "D"    #: non-trivial component with no non-trivial cycle
+    E = "E"    #: dependent cycles
+
+    @property
+    def is_one_directional(self) -> bool:
+        """True for the A-family (independent one-directional cycles)."""
+        return self in _A_CLASSES
+
+    @property
+    def is_unit(self) -> bool:
+        """True for unit cycles (A1, A2) — the strongly stable shapes."""
+        return self in (ComponentClass.A1, ComponentClass.A2)
+
+    @property
+    def is_permutational(self) -> bool:
+        """True for pure-directed independent cycles (A2, A4)."""
+        return self in (ComponentClass.A2, ComponentClass.A4)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_A_CLASSES = frozenset({ComponentClass.A1, ComponentClass.A2,
+                        ComponentClass.A3, ComponentClass.A4})
+
+
+class FormulaClass(enum.Enum):
+    """Class of a whole formula (disjoint combination of components)."""
+
+    A1 = "A1"
+    A2 = "A2"
+    A3 = "A3"
+    A4 = "A4"
+    A5 = "A5"  #: disjoint combination of different Ai's
+    B = "B"
+    C = "C"
+    D = "D"
+    E = "E"
+    F = "F"    #: mixed: disjoint combination of different classes
+
+    @property
+    def is_one_directional(self) -> bool:
+        """True when every component is an independent one-directional
+        cycle (classes A1–A5) — exactly the transformable formulas
+        (Corollary 3)."""
+        return self in (FormulaClass.A1, FormulaClass.A2, FormulaClass.A3,
+                        FormulaClass.A4, FormulaClass.A5)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def combine_component_classes(
+        kinds: tuple[ComponentClass, ...]) -> FormulaClass:
+    """The formula class of a disjoint combination of component classes.
+
+    >>> combine_component_classes((ComponentClass.A1, ComponentClass.A1))
+    <FormulaClass.A1: 'A1'>
+    >>> combine_component_classes((ComponentClass.A1, ComponentClass.A2))
+    <FormulaClass.A5: 'A5'>
+    >>> combine_component_classes((ComponentClass.A1, ComponentClass.D))
+    <FormulaClass.F: 'F'>
+    """
+    if not kinds:
+        raise ValueError("a recursive formula has at least one "
+                         "non-trivial component")
+    distinct = frozenset(kinds)
+    if len(distinct) == 1:
+        return FormulaClass(next(iter(distinct)).value)
+    if distinct <= _A_CLASSES:
+        return FormulaClass.A5
+    return FormulaClass.F
+
+
+class Boundedness(enum.Enum):
+    """Tri-state outcome of the boundedness analysis."""
+
+    BOUNDED = "bounded"
+    UNBOUNDED = "unbounded"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value

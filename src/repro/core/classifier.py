@@ -1,0 +1,343 @@
+"""The classifier: sections 3–10 of the paper, as one analysis pass.
+
+:func:`classify` takes a recursion system (or a bare recursive rule)
+and produces a :class:`Classification`: the class of every non-trivial
+I-graph component, the formula class of their disjoint combination,
+strong stability (Theorem 1), transformability to a unit-cycle formula
+(Corollaries 1/3) with the unfold count of Theorems 2/4, and the
+boundedness verdict with its rank bound (Ioannidis's theorem,
+Theorems 6, 10, 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..datalog.program import RecursionSystem
+from ..datalog.rules import RecursiveRule, Rule
+from ..datalog.terms import Variable
+from ..graphs.components import components, component_subgraph
+from ..graphs.compress import ReducedGraph, reduce_graph
+from ..graphs.cycles import (Cycle, independent_cycle_of_component,
+                             permutational_cycles)
+from ..graphs.igraph import IGraph, build_igraph
+from ..graphs.potential import assign_potentials
+from .classes import (Boundedness, ComponentClass, FormulaClass,
+                      combine_component_classes)
+
+
+@dataclass(frozen=True)
+class ComponentAnalysis:
+    """Everything the classifier derives for one non-trivial component.
+
+    Attributes
+    ----------
+    subgraph:
+        The full component sub-graph (decorations included).
+    anchors:
+        The component's vertices incident to directed edges.
+    kind:
+        The paper class of the component.
+    cycle:
+        The independent cycle, for classes A1–A4, B, C; None for D, E.
+    cycle_weight:
+        Absolute weight of the independent cycle, when there is one.
+    permutational_weights:
+        Weights of the pure-directed cycles inside the component (for
+        A2/A4 this is the cycle itself; dependent components may also
+        contain permutational patterns, which block Ioannidis's
+        theorem).
+    potential_spread:
+        ``max φ − min φ`` when every cycle of the component weighs 0
+        (the component's Ioannidis path-weight bound), else None.
+    boundedness:
+        BOUNDED / UNBOUNDED / UNKNOWN for this component alone.
+    rank_bound:
+        The component's contribution to the formula rank bound:
+        the potential spread for weight-0 components, ``weight − 1``
+        for permutational cycles, None when not bounded.
+    """
+
+    subgraph: IGraph
+    anchors: frozenset[Variable]
+    kind: ComponentClass
+    cycle: Cycle | None
+    cycle_weight: int | None
+    permutational_weights: tuple[int, ...]
+    potential_spread: int | None
+    boundedness: Boundedness
+    rank_bound: int | None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        names = ", ".join(sorted(v.name for v in self.anchors))
+        extra = ""
+        if self.cycle_weight is not None:
+            extra = f", weight {self.cycle_weight}"
+        return f"{self.kind}({names}{extra})"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The complete classification of one linear recursive formula."""
+
+    rule: RecursiveRule
+    graph: IGraph
+    reduced: ReducedGraph
+    components: tuple[ComponentAnalysis, ...]
+    trivial_component_count: int
+    formula_class: FormulaClass
+    is_strongly_stable: bool
+    is_transformable: bool
+    unfold_times: int | None
+    boundedness: Boundedness
+    rank_bound: int | None
+    has_permutational_pattern: bool
+
+    @property
+    def component_kinds(self) -> tuple[ComponentClass, ...]:
+        """The per-component classes, in deterministic order."""
+        return tuple(c.kind for c in self.components)
+
+    def describe(self) -> str:
+        """Summary such as ``'E ⊕ A1 → F'`` for the paper's (s12)."""
+        parts = " ⊕ ".join(c.describe() for c in self.components)
+        return f"{parts} → {self.formula_class}"
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable view (for the CLI's --json output)."""
+        return {
+            "rule": str(self.rule),
+            "formula_class": str(self.formula_class),
+            "components": [
+                {"class": str(c.kind),
+                 "anchors": sorted(v.name for v in c.anchors),
+                 "cycle_weight": c.cycle_weight,
+                 "boundedness": str(c.boundedness),
+                 "rank_bound": c.rank_bound}
+                for c in self.components],
+            "strongly_stable": self.is_strongly_stable,
+            "transformable": self.is_transformable,
+            "unfold_times": self.unfold_times,
+            "boundedness": str(self.boundedness),
+            "rank_bound": self.rank_bound,
+            "has_permutational_pattern": self.has_permutational_pattern,
+        }
+
+    def summary_row(self) -> dict[str, object]:
+        """A flat dict for table rendering in the benches."""
+        return {
+            "class": str(self.formula_class),
+            "components": "+".join(str(k) for k in self.component_kinds),
+            "stable": self.is_strongly_stable,
+            "transformable": self.is_transformable,
+            "unfold": self.unfold_times,
+            "bounded": str(self.boundedness),
+            "rank_bound": self.rank_bound,
+        }
+
+
+def _has_nontrivial_cycle(subgraph: IGraph) -> bool:
+    """True iff some cycle of *subgraph* uses a directed edge.
+
+    A directed self-loop is a cycle; any other directed edge lies on a
+    cycle iff it is not a bridge of the underlying multigraph.
+    """
+    for edge in subgraph.directed:
+        if edge.is_self_loop:
+            return True
+        if not _is_bridge(subgraph, edge):
+            return True
+    return False
+
+
+def _is_bridge(subgraph: IGraph, target) -> bool:
+    """Whether removing *target* disconnects its endpoints."""
+    adjacency: dict[Variable, list[Variable]] = {
+        v: [] for v in subgraph.vertices}
+    for edge in subgraph.directed:
+        if edge is target:
+            continue
+        adjacency[edge.tail].append(edge.head)
+        adjacency[edge.head].append(edge.tail)
+    for edge in subgraph.undirected:
+        adjacency[edge.left].append(edge.right)
+        adjacency[edge.right].append(edge.left)
+    stack = [target.tail]
+    seen = {target.tail}
+    while stack:
+        vertex = stack.pop()
+        if vertex == target.head:
+            return False
+        for neighbour in adjacency[vertex]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return True
+
+
+def _analyse_component(graph: IGraph, reduced: ReducedGraph,
+                       anchor_set: frozenset[Variable],
+                       full_component: frozenset[Variable]
+                       ) -> ComponentAnalysis:
+    subgraph = component_subgraph(graph, full_component)
+    cycle = independent_cycle_of_component(reduced, anchor_set)
+    perm_weights = tuple(sorted(
+        c.weight for c in permutational_cycles(subgraph)))
+    potentials = assign_potentials(subgraph)
+    spread = (max(potentials.component_spreads.values())
+              if potentials.consistent and potentials.component_spreads
+              else (0 if potentials.consistent else None))
+
+    if cycle is not None:
+        cycle = cycle.canonical()
+        weight = cycle.weight
+        if cycle.is_one_directional:
+            if cycle.is_permutational:
+                kind = (ComponentClass.A2 if cycle.is_unit
+                        else ComponentClass.A4)
+            else:
+                kind = (ComponentClass.A1 if cycle.is_unit
+                        else ComponentClass.A3)
+        else:
+            kind = ComponentClass.B if weight == 0 else ComponentClass.C
+    else:
+        weight = None
+        if _has_nontrivial_cycle(subgraph):
+            kind = ComponentClass.E
+        else:
+            kind = ComponentClass.D
+
+    boundedness, rank_bound = _component_boundedness(
+        kind, weight, perm_weights, potentials.consistent, spread)
+    return ComponentAnalysis(subgraph=subgraph,
+                             anchors=anchor_set,
+                             kind=kind,
+                             cycle=cycle,
+                             cycle_weight=weight,
+                             permutational_weights=perm_weights,
+                             potential_spread=spread,
+                             boundedness=boundedness,
+                             rank_bound=rank_bound)
+
+
+def _component_boundedness(kind: ComponentClass, weight: int | None,
+                           perm_weights: tuple[int, ...],
+                           consistent: bool, spread: int | None
+                           ) -> tuple[Boundedness, int | None]:
+    """Boundedness verdict and rank contribution of one component."""
+    if kind in (ComponentClass.A1, ComponentClass.A3):
+        # Rotational one-directional cycles generate fresh variables on
+        # every expansion: proper recursion, rank grows with the data.
+        return Boundedness.UNBOUNDED, None
+    if kind in (ComponentClass.A2, ComponentClass.A4):
+        # Permutational: the formula returns to itself after `weight`
+        # expansions (Theorems 3 and 10).
+        assert weight is not None
+        return Boundedness.BOUNDED, weight - 1
+    if kind is ComponentClass.B:
+        return Boundedness.BOUNDED, spread
+    if kind is ComponentClass.C:
+        return Boundedness.UNBOUNDED, None
+    if kind is ComponentClass.D:
+        # No non-trivial cycle at all: Corollary 2 via Ioannidis.
+        return Boundedness.BOUNDED, spread
+    # Dependent components: Ioannidis's theorem applies when there is
+    # no permutational pattern.
+    if not perm_weights:
+        if consistent:
+            return Boundedness.BOUNDED, spread
+        return Boundedness.UNBOUNDED, None
+    return Boundedness.UNKNOWN, None
+
+
+def classify(target: RecursionSystem | RecursiveRule | Rule,
+             strict: bool = False) -> Classification:
+    """Classify a linear recursive formula.
+
+    Accepts a full :class:`RecursionSystem`, a validated
+    :class:`RecursiveRule`, or a bare :class:`Rule`.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> c = classify(parse_rule(
+    ...     "P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), "
+    ...     "P(u, v, w)."))
+    >>> str(c.formula_class), [str(k) for k in c.component_kinds]
+    ('F', ['E', 'A1'])
+    """
+    if isinstance(target, RecursionSystem):
+        rule = target.recursive
+    elif isinstance(target, Rule):
+        rule = RecursiveRule(target, strict=strict)
+    else:
+        rule = target
+
+    graph = build_igraph(rule)
+    reduced = reduce_graph(graph)
+
+    full_components = components(graph)
+    trivial_count = sum(
+        1 for comp in full_components
+        if not component_subgraph(graph, comp).is_nontrivial)
+
+    analyses: list[ComponentAnalysis] = []
+    for anchor_set in reduced.component_partition():
+        probe = next(iter(anchor_set))
+        full_component = next(
+            comp for comp in full_components if probe in comp)
+        analyses.append(_analyse_component(
+            graph, reduced, anchor_set, full_component))
+
+    kinds = tuple(a.kind for a in analyses)
+    formula_class = combine_component_classes(kinds)
+    stable = all(k.is_unit for k in kinds)
+    transformable = all(k.is_one_directional for k in kinds)
+    unfold_times = None
+    if transformable:
+        unfold_times = math.lcm(
+            *(a.cycle_weight for a in analyses))  # 1 when already stable
+
+    verdicts = {a.boundedness for a in analyses}
+    if Boundedness.UNBOUNDED in verdicts:
+        boundedness = Boundedness.UNBOUNDED
+    elif Boundedness.UNKNOWN in verdicts:
+        boundedness = Boundedness.UNKNOWN
+    else:
+        boundedness = Boundedness.BOUNDED
+
+    rank_bound = None
+    if boundedness is Boundedness.BOUNDED:
+        rank_bound = _formula_rank_bound(analyses)
+
+    has_perm = any(a.permutational_weights for a in analyses)
+    return Classification(rule=rule,
+                          graph=graph,
+                          reduced=reduced,
+                          components=tuple(analyses),
+                          trivial_component_count=trivial_count,
+                          formula_class=formula_class,
+                          is_strongly_stable=stable,
+                          is_transformable=transformable,
+                          unfold_times=unfold_times,
+                          boundedness=boundedness,
+                          rank_bound=rank_bound,
+                          has_permutational_pattern=has_perm)
+
+
+def _formula_rank_bound(analyses: list[ComponentAnalysis]) -> int:
+    """Safe formula-level rank bound for a bounded formula.
+
+    ``b + L − 1`` where ``b`` is the largest path-weight bound over the
+    weight-0 components and ``L`` the LCM of the permutational cycle
+    weights.  Pure cases collapse to the paper's tight bounds: no
+    permutational components gives ``b`` (Ioannidis); no weight-0
+    components gives ``L − 1`` (Theorem 10).
+    """
+    spreads = [a.rank_bound for a in analyses
+               if not a.kind.is_permutational and a.rank_bound is not None]
+    path_bound = max(spreads, default=0)
+    perm_periods = [a.cycle_weight for a in analyses
+                    if a.kind.is_permutational]
+    period_lcm = math.lcm(*perm_periods) if perm_periods else 1
+    return path_bound + period_lcm - 1

@@ -1,0 +1,145 @@
+"""Redundant-atom elimination: conjunctive-query minimisation of rules.
+
+The paper's companion work ([Han 87], "Handling Redundancy in
+Recursive Query Processing") motivates removing redundant subgoals
+before compilation.  This module implements the classic
+Chandra–Merlin-style minimisation for our restricted setting: a body
+atom is *redundant* when a homomorphism maps the full body into the
+body without it, fixing the variables whose bindings matter.
+
+For a recursive rule we protect the head variables **and** the
+recursive atom's variables (the homomorphism must be the identity on
+them): folding the recursive call itself, or re-routing the values it
+receives, would change the recursion — with that protection, dropping
+an atom preserves the per-expansion semantics and therefore the
+fixpoint (each expansion's body is the k-fold composition of the
+rule body, and the homomorphisms compose levelwise).
+
+Exit rules only need their head variables protected.
+
+Minimisation can only shrink the I-graph: decorations disappear, and
+parallel undirected paths collapse — classification never gets worse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.program import RecursionSystem
+from ..datalog.rules import RecursiveRule, Rule
+from ..datalog.terms import Constant, Term, Variable
+
+
+def find_homomorphism(source: tuple[Atom, ...],
+                      target: tuple[Atom, ...],
+                      fixed: frozenset[Variable]
+                      ) -> dict[Variable, Term] | None:
+    """A variable mapping sending every *source* atom into *target*.
+
+    The mapping is the identity on *fixed* variables; constants map to
+    themselves.  Returns None when no homomorphism exists.
+
+    >>> from ..datalog.parser import parse_atom
+    >>> hom = find_homomorphism(
+    ...     (parse_atom("A(x, w)"),), (parse_atom("A(x, z)"),),
+    ...     frozenset({Variable("x")}))
+    >>> hom[Variable("w")]
+    Variable(name='z')
+    """
+    ordered = sorted(source, key=lambda a: (a.predicate, a.arity))
+
+    def extend(mapping: dict[Variable, Term], atom_args, target_args
+               ) -> dict[Variable, Term] | None:
+        out = dict(mapping)
+        for term, image in zip(atom_args, target_args):
+            if isinstance(term, Constant):
+                if term != image:
+                    return None
+                continue
+            if term in fixed:
+                if image != term:
+                    return None
+                continue
+            known = out.get(term)
+            if known is None:
+                out[term] = image
+            elif known != image:
+                return None
+        return out
+
+    def search(index: int, mapping: dict[Variable, Term]) -> bool:
+        if index == len(ordered):
+            search.result = mapping  # type: ignore[attr-defined]
+            return True
+        atom = ordered[index]
+        for candidate in target:
+            if (candidate.predicate != atom.predicate
+                    or candidate.arity != atom.arity):
+                continue
+            extended = extend(mapping, atom.args, candidate.args)
+            if extended is not None and search(index + 1, extended):
+                return True
+        return False
+
+    if search(0, {}):
+        return search.result  # type: ignore[attr-defined]
+    return None
+
+
+def _minimize_atoms(atoms: tuple[Atom, ...],
+                    fixed: frozenset[Variable]) -> tuple[Atom, ...]:
+    """Drop atoms one at a time while a folding homomorphism exists."""
+    current = list(dict.fromkeys(atoms))  # exact duplicates first
+    changed = True
+    while changed:
+        changed = False
+        for index, candidate in enumerate(current):
+            rest = tuple(current[:index] + current[index + 1:])
+            if not rest:
+                continue
+            if find_homomorphism(tuple(current), rest,
+                                 fixed) is not None:
+                del current[index]
+                changed = True
+                break
+    return tuple(current)
+
+
+def minimize_rule(rule: Rule,
+                  protect: Iterable[Variable] = ()) -> Rule:
+    """A minimal equivalent rule (recursive-aware).
+
+    For recursive rules the recursive atom and its variables are
+    protected; for non-recursive rules only the head variables are.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> str(minimize_rule(parse_rule(
+    ...     "P(x, y) :- A(x, z), A(x, w), P(z, y).")))
+    'P(x, y) :- A(x, z) ∧ P(z, y).'
+    """
+    fixed: set[Variable] = set(rule.head.variables)
+    fixed.update(protect)
+    recursive_atoms = tuple(a for a in rule.body
+                            if a.predicate == rule.head.predicate)
+    for recursive_atom in recursive_atoms:
+        fixed.update(recursive_atom.variables)
+    plain = tuple(a for a in rule.body
+                  if a.predicate != rule.head.predicate)
+    minimised = set(_minimize_atoms(plain, frozenset(fixed)))
+    # rebuild in original body order; literal duplicates keep one copy
+    new_body: list[Atom] = []
+    for body_atom in rule.body:
+        if body_atom.predicate == rule.head.predicate:
+            new_body.append(body_atom)
+        elif body_atom in minimised and body_atom not in new_body:
+            new_body.append(body_atom)
+    return Rule(rule.head, tuple(new_body))
+
+
+def minimize_system(system: RecursionSystem) -> RecursionSystem:
+    """Minimise the recursive rule and every exit rule of *system*."""
+    recursive = minimize_rule(system.recursive.rule)
+    exits = tuple(minimize_rule(exit_rule)
+                  for exit_rule in system.exits)
+    return RecursionSystem(RecursiveRule(recursive, strict=False), exits)

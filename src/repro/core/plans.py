@@ -1,0 +1,186 @@
+"""Plan AST: the paper's compiled formulas and evaluation plans.
+
+The paper writes compiled formulas in a compact algebraic notation::
+
+    σE,  (σA) X (∪_{k=0}^{∞} [(E ⋈ B)(BA)^k])          -- s9, P(d,v,v)
+    σE,  (∃ ∪_{k=0}^{∞} [(AB)^k (E ⋈ B)]) A            -- s9, P(v,v,d)
+    σE,  σA-C-B-E,  ∪_{k=1}^{∞} σA-C-B-[{A,B}-C]^k-E   -- s11, P(d,v)
+
+with ``-`` for joins ("because of the difficulty to use the symbol
+⋈"), ``X`` for Cartesian product, ``∃`` for existence checking,
+``{…}`` for branches evaluated independently, and ``[…]^k`` for the
+per-iteration block.  This module models those constructs as a small
+immutable AST whose :func:`render` reproduces the notation, so the
+figure benches can compare generated plans against the paper's.
+
+The AST is *symbolic*: it names relations and operations.  The
+executable counterparts live in :mod:`repro.engine`, which implements
+the corresponding strategies directly against the EDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+PlanNode = Union["Rel", "Select", "JoinChain", "Branches", "Power",
+                 "Product", "Exists", "UnionOverK", "Steps"]
+
+
+@dataclass(frozen=True)
+class Rel:
+    """A relation reference: an EDB predicate or the exit ``E``."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Select:
+    """A selection ``σR`` — constants pushed into relation *rel*.
+
+    ``binding`` optionally names the constant(s), e.g. ``σ_a A``.
+    """
+
+    rel: PlanNode
+    binding: str | None = None
+
+    def render(self) -> str:
+        inner = _render(self.rel)
+        if self.binding:
+            return f"σ{self.binding}·{inner}"
+        return f"σ{inner}"
+
+
+@dataclass(frozen=True)
+class JoinChain:
+    """A left-deep join sequence rendered with the paper's dashes."""
+
+    items: tuple[PlanNode, ...]
+
+    def render(self) -> str:
+        return "-".join(_render(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Branches:
+    """Independently evaluated branches, the paper's ``{A, B}``."""
+
+    branches: tuple[PlanNode, ...]
+
+    def render(self) -> str:
+        inner = ", ".join(_render(b) for b in self.branches)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Power:
+    """A block iterated per expansion: ``[…]^k`` (or ``R^k``)."""
+
+    base: PlanNode
+    exponent: str = "k"
+
+    def render(self) -> str:
+        inner = _render(self.base)
+        if isinstance(self.base, (JoinChain, Branches, Product)):
+            inner = f"[{inner}]"
+        elif len(inner) > 1 and not inner.isalnum():
+            inner = f"({inner})"
+        return f"{inner}^{self.exponent}"
+
+
+@dataclass(frozen=True)
+class Product:
+    """A Cartesian product of independent parts, the paper's ``X``."""
+
+    parts: tuple[PlanNode, ...]
+
+    def render(self) -> str:
+        return " X ".join(f"({_render(p)})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existence check ``∃(…)``: non-emptiness gates the rest."""
+
+    inner: PlanNode
+
+    def render(self) -> str:
+        return f"∃({_render(self.inner)})"
+
+
+@dataclass(frozen=True)
+class UnionOverK:
+    """The infinite union ``∪_{k=start}^{∞} body``.
+
+    At evaluation time the union is cut off at the data's fixpoint;
+    symbolically it is the compiled formula's iteration.
+    """
+
+    body: PlanNode
+    start: int = 0
+
+    def render(self) -> str:
+        inner = _render(self.body)
+        if not isinstance(self.body, (Rel, Select, Power)):
+            inner = f"[{inner}]"
+        return f"∪k≥{self.start} {inner}"
+
+
+@dataclass(frozen=True)
+class Steps:
+    """Top-level comma-separated steps, e.g. ``σE, (σA) X (…)``."""
+
+    steps: tuple[PlanNode, ...]
+
+    def render(self) -> str:
+        return ",  ".join(_render(s) for s in self.steps)
+
+
+def _render(node: PlanNode) -> str:
+    return node.render()
+
+
+def render(node: PlanNode) -> str:
+    """Render a plan tree in the paper's notation.
+
+    >>> plan = Steps((Select(Rel("E")), Product((Select(Rel("A")),
+    ...     UnionOverK(JoinChain((JoinChain((Rel("E"), Rel("B"))),
+    ...     Power(JoinChain((Rel("B"), Rel("A")))))))))))
+    >>> render(plan)
+    'σE,  (σA) X (∪k≥0 [E-B-[B-A]^k])'
+    """
+    return node.render()
+
+
+def relation_names(node: PlanNode) -> tuple[str, ...]:
+    """All relation names mentioned by the plan, left to right."""
+    if isinstance(node, Rel):
+        return (node.name,)
+    if isinstance(node, Select):
+        return relation_names(node.rel)
+    if isinstance(node, (JoinChain, Branches)):
+        children = node.items if isinstance(node, JoinChain) else node.branches
+        out: list[str] = []
+        for child in children:
+            out.extend(relation_names(child))
+        return tuple(out)
+    if isinstance(node, Power):
+        return relation_names(node.base)
+    if isinstance(node, Product):
+        out = []
+        for part in node.parts:
+            out.extend(relation_names(part))
+        return tuple(out)
+    if isinstance(node, Exists):
+        return relation_names(node.inner)
+    if isinstance(node, UnionOverK):
+        return relation_names(node.body)
+    if isinstance(node, Steps):
+        out = []
+        for step in node.steps:
+            out.extend(relation_names(step))
+        return tuple(out)
+    raise TypeError(f"not a plan node: {node!r}")

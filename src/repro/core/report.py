@@ -1,0 +1,94 @@
+"""Human-readable reports: the classification table and per-formula dossiers.
+
+These renderers back the figure/table benches and the examples; they
+keep all presentation concerns out of the analysis modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..datalog.program import RecursionSystem
+from ..datalog.pretty import format_rule
+from ..graphs.render import ascii_figure, ascii_reduced
+from .bindings import adornment_from_string
+from .classifier import Classification, classify
+from .compile import compile_query
+from .stability import stability_report
+
+
+def text_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a plain-text table with column alignment."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def classification_table(systems: Mapping[str, RecursionSystem]) -> str:
+    """The section-3 taxonomy applied to a catalogue of formulas.
+
+    One row per formula: name, component classes, formula class,
+    stability, transformability (with unfold count), boundedness
+    (with rank bound).
+    """
+    headers = ["formula", "components", "class", "stable", "transformable",
+               "unfold", "bounded", "rank bound"]
+    rows: list[list[object]] = []
+    for name, system in systems.items():
+        result = classify(system)
+        row = result.summary_row()
+        rows.append([name, row["components"], row["class"],
+                     "yes" if row["stable"] else "no",
+                     "yes" if row["transformable"] else "no",
+                     row["unfold"] if row["unfold"] is not None else "-",
+                     row["bounded"],
+                     row["rank_bound"]
+                     if row["rank_bound"] is not None else "-"])
+    return text_table(headers, rows)
+
+
+def formula_dossier(name: str, system: RecursionSystem,
+                    query_forms: Iterable[str] = ()) -> str:
+    """Everything the paper derives for one formula, as text.
+
+    Sections: the rule, the I-graph listing, the classification, the
+    Theorem 1 stability report, and a compiled plan per query form.
+    """
+    classification = classify(system)
+    stability = stability_report(system.recursive)
+    lines = [
+        f"=== {name} ===",
+        format_rule(system.recursive.rule),
+        "",
+        ascii_figure(classification.graph, "I-graph:"),
+        "",
+        ascii_reduced(classification.reduced, "reduced graph:"),
+        "",
+        f"classification: {classification.describe()}",
+        f"strongly stable: syntactic={stability.syntactic} "
+        f"semantic={stability.semantic}"
+        + (f" (counterexample {stability.counterexample})"
+           if stability.counterexample else ""),
+        f"boundedness: {classification.boundedness}"
+        + (f" (rank ≤ {classification.rank_bound})"
+           if classification.rank_bound is not None else ""),
+    ]
+    for query_form in query_forms:
+        compiled = compile_query(system, adornment_from_string(query_form),
+                                 classification)
+        lines.append("")
+        lines.append(f"query {system.predicate}({query_form}) "
+                     f"[{compiled.strategy}]:")
+        lines.append(f"  {compiled.plan_text}")
+        for note in compiled.notes:
+            lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Strong stability: Theorem 1's two equivalent characterisations.
+
+The paper defines a formula as *strongly stable* when, for any query,
+the determined variables of the recursive predicate occur in the same
+positions in the consequent and the antecedent, and proves (Theorem 1)
+that this holds iff the I-graph consists of disjoint unit cycles.
+
+We implement both sides independently:
+
+* :func:`is_syntactically_stable` — the graph condition, via the
+  classifier (every component class is A1 or A2);
+* :func:`is_semantically_stable` — the query condition, by checking
+  ``body_adornment(S) == S`` for *every* adornment S (2**arity of
+  them; the paper's dimensions are small).
+
+Their equivalence is the property test the benches and the hypothesis
+suite machine-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.rules import RecursiveRule, Rule
+from ..graphs.igraph import build_igraph
+from .bindings import (Adornment, adornment_to_string, all_adornments,
+                       body_adornment)
+from .classifier import Classification, classify
+
+
+def _as_recursive(rule: RecursiveRule | Rule) -> RecursiveRule:
+    if isinstance(rule, Rule):
+        return RecursiveRule(rule, strict=False)
+    return rule
+
+
+def is_syntactically_stable(rule: RecursiveRule | Rule) -> bool:
+    """Theorem 1, graph side: only disjoint unit cycles in the I-graph."""
+    return classify(_as_recursive(rule)).is_strongly_stable
+
+
+def is_semantically_stable(rule: RecursiveRule | Rule) -> bool:
+    """Theorem 1, query side: every adornment reproduces itself.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> is_semantically_stable(parse_rule(
+    ...     "P(x, y) :- A(x, z), P(z, y)."))
+    True
+    >>> is_semantically_stable(parse_rule(
+    ...     "P(x, y) :- A(x, z), P(y, z)."))
+    False
+    """
+    recursive = _as_recursive(rule)
+    graph = build_igraph(recursive)
+    for adornment in all_adornments(recursive.dimension):
+        if body_adornment(recursive, adornment, graph) != adornment:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Both characterisations side by side, with any counterexample."""
+
+    classification: Classification
+    syntactic: bool
+    semantic: bool
+    counterexample: str | None
+
+    @property
+    def agree(self) -> bool:
+        """Theorem 1 demands these always agree."""
+        return self.syntactic == self.semantic
+
+
+def stability_report(rule: RecursiveRule | Rule) -> StabilityReport:
+    """Evaluate both sides of Theorem 1 on *rule*.
+
+    The counterexample, when the formula is not semantically stable, is
+    the first adornment whose body adornment differs, rendered as
+    ``dvv -> ddv``.
+    """
+    recursive = _as_recursive(rule)
+    classification = classify(recursive)
+    graph = build_igraph(recursive)
+    counterexample = None
+    semantic = True
+    arity = recursive.dimension
+    for adornment in all_adornments(arity):
+        produced = body_adornment(recursive, adornment, graph)
+        if produced != adornment:
+            semantic = False
+            counterexample = (
+                f"{adornment_to_string(adornment, arity)} -> "
+                f"{adornment_to_string(produced, arity)}")
+            break
+    return StabilityReport(classification=classification,
+                           syntactic=classification.is_strongly_stable,
+                           semantic=semantic,
+                           counterexample=counterexample)

@@ -1,0 +1,75 @@
+"""Witness databases: constructive instances for derivation depths.
+
+The boundedness results are about *worst cases over all databases*:
+Ioannidis's bound and Theorem 10's LCM−1 are claimed tight.  A seed
+sweep can miss the witnesses; this module builds them directly.
+
+:func:`witness_database` freezes the body of the depth-d exit
+expansion into ground facts (each variable becomes a fresh constant —
+the canonical instance of the conjunctive query).  On that database
+the recursion derives the frozen head tuple at depth ``d-1``, so when
+the classifier's rank bound is tight there exists a witness whose
+measured rank equals the bound.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.program import RecursionSystem
+from ..datalog.terms import Constant, Variable
+from ..ra.database import Database
+
+
+def freeze_body(body: tuple[Atom, ...], prefix: str = "w"
+                ) -> tuple[Database, dict[Variable, str]]:
+    """The canonical instance of a conjunction: variables → constants.
+
+    Returns the database of frozen facts and the freezing assignment.
+    """
+    assignment: dict[Variable, str] = {}
+    db = Database()
+
+    def value_of(term) -> object:
+        if isinstance(term, Constant):
+            return term.value
+        if term not in assignment:
+            assignment[term] = f"{prefix}{len(assignment)}"
+        return assignment[term]
+
+    for body_atom in body:
+        db.add(body_atom.predicate,
+               tuple(value_of(t) for t in body_atom.args))
+    return db, assignment
+
+
+def witness_database(system: RecursionSystem, depth: int,
+                     exit_index: int = 0) -> Database:
+    """A database on which the recursion reaches depth ``depth - 1``.
+
+    Freezes the depth-``depth`` exit expansion; the frozen body
+    supports the derivation of the frozen head at recursion depth
+    ``depth - 1`` (depth 1 = the exit rule alone = recursion depth 0).
+
+    >>> from ..datalog.parser import parse_system
+    >>> s = parse_system(
+    ...     "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), "
+    ...     "P(z, y1, z1, u1).")
+    >>> db = witness_database(s, 3)   # the Ioannidis bound of (s8) is 2
+    >>> sorted(db.relation_names)
+    ['A', 'B', 'C', 'P__exit']
+    """
+    flattened = system.exit_expansion(depth, exit_index)
+    db, _ = freeze_body(tuple(flattened.body))
+    return db
+
+
+def witness_rank(system: RecursionSystem, depth: int,
+                 exit_index: int = 0) -> int:
+    """The measured rank of the depth-``depth`` witness database.
+
+    For formulas whose bound is tight, ``witness_rank(system,
+    bound + 1) == bound``.
+    """
+    from ..engine.seminaive import SemiNaiveEngine
+    db = witness_database(system, depth, exit_index)
+    return SemiNaiveEngine().measured_rank(system, db)

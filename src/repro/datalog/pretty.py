@@ -1,0 +1,92 @@
+"""Paper-style pretty-printing of rules and expansion traces.
+
+The paper writes expansions with subscripted variables (``z₁``, ``u₁``);
+the renaming machinery produces ``z_1``, ``u_1``.  These helpers render
+either form and produce the multi-line expansion traces shown in the
+paper's Example 2 and Example 4.
+"""
+
+from __future__ import annotations
+
+from .program import RecursionSystem
+from .rules import Rule
+
+_SUBSCRIPTS = str.maketrans("0123456789", "₀₁₂₃₄₅₆₇₈₉")
+
+
+def subscript(name: str) -> str:
+    """Render trailing ``_k`` renaming suffixes as unicode subscripts.
+
+    >>> subscript("z_1")
+    'z₁'
+    >>> subscript("x1")
+    'x₁'
+    >>> subscript("x1_2")
+    'x₁,₂'
+    """
+    pieces = [p for p in name.split("_") if p]
+    if not pieces:
+        return name
+    out = _render_piece(pieces[0])
+    for piece in pieces[1:]:
+        if piece.isdigit() and not out[-1].isdigit():
+            # a plain stem followed by one renaming level: u_1 -> u₁
+            separator = "" if out[-1] not in "₀₁₂₃₄₅₆₇₈₉" else ","
+            out += separator + piece.translate(_SUBSCRIPTS)
+        else:
+            out += "," + _render_piece(piece)
+    return out
+
+
+def _render_piece(piece: str) -> str:
+    stem = piece.rstrip("0123456789")
+    digits = piece[len(stem):]
+    return stem + digits.translate(_SUBSCRIPTS)
+
+
+def format_rule(rule: Rule, subscripted: bool = True) -> str:
+    """Render a rule in the paper's notation.
+
+    >>> from .parser import parse_rule
+    >>> format_rule(parse_rule("P(x1, y) :- A(x1, z), P(z, y)."))
+    'P(x₁, y) :- A(x₁, z) ∧ P(z, y).'
+    """
+    text = str(rule)
+    if not subscripted:
+        return text
+    # Only variable names carry subscripts; predicate names in the
+    # catalogue are single upper-case letters and never end in digits
+    # preceded by lower-case stems, so a token-wise pass is safe.
+    out: list[str] = []
+    token = ""
+    for ch in text:
+        if ch.isalnum() or ch in "_'":
+            token += ch
+        else:
+            if token:
+                out.append(_format_token(token))
+                token = ""
+            out.append(ch)
+    if token:
+        out.append(_format_token(token))
+    return "".join(out)
+
+
+def _format_token(token: str) -> str:
+    if token[0].islower():
+        return subscript(token)
+    return token
+
+
+def expansion_trace(system: RecursionSystem, depth: int,
+                    subscripted: bool = True) -> str:
+    """The first *depth* expansions of *system*, one per line.
+
+    This reproduces the derivation listings of the paper's Example 2
+    (s2a → s2c) and Example 4 (s4a → s4c → s4d).
+    """
+    lines = []
+    for k in range(1, depth + 1):
+        rendered = format_rule(system.expansion(k), subscripted)
+        lines.append(f"expansion {k}: {rendered}")
+    return "\n".join(lines)

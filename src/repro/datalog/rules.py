@@ -1,0 +1,222 @@
+"""Horn rules and the paper's restricted recursive-rule form.
+
+A :class:`Rule` is a function-free Horn clause ``head :- body``.  The
+paper restricts attention to *linear single recursion*: one recursive
+rule in which the recursive predicate occurs exactly once in the body,
+plus one or more non-recursive *exit* rules ``P :- E``.
+
+:class:`RecursiveRule` wraps a validated recursive rule and exposes the
+pieces the graph model needs: the head atom, the single recursive body
+atom, and the non-recursive body atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .atoms import Atom
+from .errors import RuleValidationError
+from .terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Horn clause ``head :- body[0] ∧ ... ∧ body[n-1]``.
+
+    An empty body makes the rule a fact-producing clause (used for exit
+    rules only via the textual front end; facts proper are ground
+    atoms stored in the EDB).
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        """All predicate symbols occurring in the rule."""
+        return frozenset({self.head.predicate}
+                         | {a.predicate for a in self.body})
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """All distinct variables occurring in the rule."""
+        out: set[Variable] = set(self.head.variables)
+        for body_atom in self.body:
+            out.update(body_atom.variables)
+        return frozenset(out)
+
+    def body_atoms_of(self, predicate: str) -> tuple[Atom, ...]:
+        """The body atoms whose predicate symbol is *predicate*."""
+        return tuple(a for a in self.body if a.predicate == predicate)
+
+    def is_recursive(self) -> bool:
+        """True iff the head predicate also occurs in the body."""
+        return any(a.predicate == self.head.predicate for a in self.body)
+
+    def is_linear_recursive(self) -> bool:
+        """True iff the head predicate occurs exactly once in the body."""
+        return len(self.body_atoms_of(self.head.predicate)) == 1
+
+    def is_range_restricted(self) -> bool:
+        """True iff every head variable also occurs in the body.
+
+        This is the [Gall 84] condition the paper adopts; rules failing
+        it cannot be evaluated bottom-up over a finite database.
+        """
+        body_vars: set[Variable] = set()
+        for body_atom in self.body:
+            body_vars.update(body_atom.variables)
+        return all(v in body_vars for v in self.head.variables)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        inner = " ∧ ".join(str(a) for a in self.body)
+        return f"{self.head} :- {inner}."
+
+    def __iter__(self) -> Iterator[Atom]:
+        yield self.head
+        yield from self.body
+
+
+class RecursiveRule:
+    """A validated linear recursive rule in the paper's restricted form.
+
+    Validation (section 2 of the paper) enforces:
+
+    * the head predicate occurs exactly once in the body (linearity);
+    * the rule is function-free by construction (terms are variables or
+      constants) and contains no constants;
+    * no variable occurs more than once under either occurrence of the
+      recursive predicate;
+    * the rule is range restricted.
+
+    Parameters
+    ----------
+    rule:
+        The underlying Horn clause.
+    strict:
+        When False, skip the range-restriction check (some of the
+        paper's own examples, e.g. (s8) and (s10), introduce body
+        variables that never reach the head; those are fine.  Range
+        restriction concerns *head* variables and is always enforced;
+        ``strict`` additionally rejects body recursive-atom variables
+        that are fresh and unconnected, a condition the paper calls out
+        when discussing non-range-restricted formulas).
+    """
+
+    def __init__(self, rule: Rule, strict: bool = True) -> None:
+        self._rule = rule
+        self._validate(strict)
+
+    # -- validation --------------------------------------------------
+
+    def _validate(self, strict: bool) -> None:
+        rule = self._rule
+        recursive_atoms = rule.body_atoms_of(rule.head.predicate)
+        if len(recursive_atoms) != 1:
+            raise RuleValidationError(
+                f"expected exactly one occurrence of the recursive "
+                f"predicate {rule.head.predicate!r} in the body, found "
+                f"{len(recursive_atoms)}: {rule}")
+        recursive_atom = recursive_atoms[0]
+        if recursive_atom.arity != rule.head.arity:
+            raise RuleValidationError(
+                f"recursive predicate used with inconsistent arities "
+                f"({rule.head.arity} in head, {recursive_atom.arity} in "
+                f"body): {rule}")
+        for term in rule.head.args + tuple(
+                t for a in rule.body for t in a.args):
+            if isinstance(term, Constant):
+                raise RuleValidationError(
+                    f"constants are not allowed in recursive rules "
+                    f"(found {term}): {rule}")
+        if rule.head.has_repeated_variables():
+            raise RuleValidationError(
+                f"a variable appears more than once under the recursive "
+                f"predicate (head): {rule}")
+        if recursive_atom.has_repeated_variables():
+            raise RuleValidationError(
+                f"a variable appears more than once under the recursive "
+                f"predicate (body): {rule}")
+        if strict and not rule.is_range_restricted():
+            raise RuleValidationError(
+                f"rule is not range restricted (a head variable does "
+                f"not occur in the body): {rule}")
+
+    # -- accessors ---------------------------------------------------
+
+    @property
+    def rule(self) -> Rule:
+        """The underlying Horn clause."""
+        return self._rule
+
+    @property
+    def head(self) -> Atom:
+        """The consequent atom ``P(x1, ..., xn)``."""
+        return self._rule.head
+
+    @property
+    def predicate(self) -> str:
+        """The recursive predicate symbol."""
+        return self._rule.head.predicate
+
+    @property
+    def recursive_atom(self) -> Atom:
+        """The single body occurrence of the recursive predicate."""
+        return self._rule.body_atoms_of(self.predicate)[0]
+
+    @property
+    def nonrecursive_atoms(self) -> tuple[Atom, ...]:
+        """The body atoms over non-recursive (EDB) predicates."""
+        return tuple(a for a in self._rule.body
+                     if a.predicate != self.predicate)
+
+    @property
+    def dimension(self) -> int:
+        """The paper's *dimension* D: arity of the recursive predicate."""
+        return self._rule.head.arity
+
+    @property
+    def head_variables(self) -> tuple[Variable, ...]:
+        """Head argument variables ``x1 .. xn`` in positional order."""
+        return tuple(t for t in self.head.args if isinstance(t, Variable))
+
+    @property
+    def body_recursive_variables(self) -> tuple[Variable, ...]:
+        """Recursive body-atom variables ``y1 .. yn`` in positional order."""
+        return tuple(t for t in self.recursive_atom.args
+                     if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        return str(self._rule)
+
+    def __repr__(self) -> str:
+        return f"RecursiveRule({self._rule!s})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecursiveRule):
+            return NotImplemented
+        return self._rule == other._rule
+
+    def __hash__(self) -> int:
+        return hash(self._rule)
+
+
+def make_rule(head: Atom, body: Iterable[Atom]) -> Rule:
+    """Build a :class:`Rule`, normalising *body* to a tuple."""
+    return Rule(head, tuple(body))
+
+
+def exit_rule(predicate: str, exit_predicate: str, arity: int) -> Rule:
+    """Build the generic exit rule ``P(x1..xn) :- E(x1..xn)``.
+
+    The paper writes exit rules as ``P :- E`` with ``E`` a generic exit
+    expression; this helper produces the positional identity form used
+    throughout the compiled formulas.
+    """
+    variables: tuple[Term, ...] = tuple(
+        Variable(f"x{i + 1}") for i in range(arity))
+    return Rule(Atom(predicate, variables),
+                (Atom(exit_predicate, variables),))

@@ -1,0 +1,94 @@
+"""Terms of the function-free Datalog language.
+
+The paper works with function-free Horn clauses, so a term is either a
+:class:`Variable` or a :class:`Constant`.  Both are immutable value
+objects: two variables with the same name are the same variable, which
+is exactly the identification the I-graph construction relies on
+(vertices of the graph *are* variable names).
+
+Variable naming convention
+--------------------------
+The textual parser follows the paper rather than Prolog: identifiers
+are lower case (``x``, ``y1``, ``z2``) and whether a symbol denotes a
+variable or a constant is decided by position — everything inside a
+*rule* is a variable (the paper forbids constants in recursive rules),
+while symbols inside *facts* and *query* bindings are constants.  The
+programmatic API is explicit and never guesses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_']*\Z")
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logical variable, identified by its name.
+
+    >>> Variable("x") == Variable("x")
+    True
+    >>> Variable("x").renamed(2)
+    Variable(name='x_2')
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"invalid variable name: {self.name!r}")
+
+    def renamed(self, level: int) -> "Variable":
+        """Return a fresh copy subscripted for expansion *level*.
+
+        Used when unfolding a rule against itself: the paper renumbers
+        variables (``x`` becomes ``x_1``) before unification so the two
+        copies of the rule share no variables.
+        """
+        return Variable(f"{self.name}_{level}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A database constant (any hashable Python value).
+
+    >>> str(Constant("a"))
+    'a'
+    >>> str(Constant(42))
+    '42'
+    """
+
+    value: object
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+#: A Datalog term is a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True iff *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def variables_of(terms: tuple[Term, ...]) -> tuple[Variable, ...]:
+    """Return the variables among *terms*, in order, with duplicates."""
+    return tuple(t for t in terms if isinstance(t, Variable))
+
+
+def fresh_variables(count: int, prefix: str = "v") -> tuple[Variable, ...]:
+    """Return *count* distinct variables named ``prefix0 .. prefixN``."""
+    return tuple(Variable(f"{prefix}{i}") for i in range(count))

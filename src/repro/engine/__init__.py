@@ -1,0 +1,29 @@
+"""Evaluation engines: naive, semi-naive, and compiled.
+
+All three agree on answers (property-tested); they differ in work
+done, which is exactly the paper's point: the compiled engine pushes
+query selections through the recursion wherever the classification
+proves they persist.
+"""
+
+from .compiled import CompiledEngine
+from .conjunctive import (Binding, pattern_of, satisfiable, solve,
+                          solve_project)
+from .naive import NaiveEngine
+from .incremental import MaterializedRecursion
+from .provenance import Derivation, explain_answer
+from .query import Query
+from .seminaive import SemiNaiveEngine
+from .topdown import TopDownEngine
+from .stats import EvaluationStats
+
+ALL_ENGINES = (NaiveEngine, SemiNaiveEngine, CompiledEngine,
+               TopDownEngine)
+
+__all__ = [
+    "ALL_ENGINES", "Binding", "CompiledEngine", "EvaluationStats",
+    "NaiveEngine", "Query", "SemiNaiveEngine", "pattern_of",
+    "TopDownEngine", "Derivation", "MaterializedRecursion",
+    "explain_answer",
+    "satisfiable", "solve", "solve_project",
+]

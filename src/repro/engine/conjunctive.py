@@ -1,0 +1,124 @@
+"""Selection-first conjunctive-query evaluation over the fact store.
+
+This is the shared workhorse of every engine: given a conjunction of
+atoms and an initial variable binding, enumerate all satisfying
+bindings by backtracking search with a greedy, dynamically re-ranked
+atom order — the most-bound atom (most selective access path) is
+always evaluated next, which is precisely the paper's principle that
+"join operations will be performed only after selection operations".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Constant, Term, Variable
+from ..ra.database import Database
+from .stats import EvaluationStats
+
+#: A binding maps variables to database values.
+Binding = dict[Variable, object]
+
+
+def pattern_of(body_atom: Atom, binding: Mapping[Variable, object]
+               ) -> tuple:
+    """The match pattern of *body_atom* under *binding* (None = free)."""
+    out: list[object | None] = []
+    for term in body_atom.args:
+        if isinstance(term, Constant):
+            out.append(term.value)
+        else:
+            out.append(binding.get(term))
+    return tuple(out)
+
+
+def _boundness(body_atom: Atom, binding: Mapping[Variable, object]) -> int:
+    count = 0
+    for term in body_atom.args:
+        if isinstance(term, Constant) or (
+                isinstance(term, Variable) and term in binding):
+            count += 1
+    return count
+
+
+def _extend(body_atom: Atom, row: tuple,
+            binding: Binding) -> Binding | None:
+    """Bind *body_atom*'s free variables to *row*; None on conflict
+    (repeated variables inside the atom must agree)."""
+    new = dict(binding)
+    for term, value in zip(body_atom.args, row):
+        if isinstance(term, Constant):
+            continue
+        seen = new.get(term)
+        if seen is None:
+            new[term] = value
+        elif seen != value:
+            return None
+    return new
+
+
+def solve(database: Database, atoms: Sequence[Atom],
+          binding: Mapping[Variable, object] | None = None,
+          stats: EvaluationStats | None = None) -> Iterator[Binding]:
+    """All bindings satisfying the conjunction of *atoms*.
+
+    >>> db = Database.from_dict({"A": [("a", "b"), ("b", "c")]})
+    >>> from ..datalog.parser import parse_atom
+    >>> pair = [parse_atom("A(x, y)"), parse_atom("A(y, z)")]
+    >>> answers = list(solve(db, pair))
+    >>> len(answers)
+    1
+    """
+    start: Binding = dict(binding or {})
+
+    def backtrack(remaining: list[Atom],
+                  current: Binding) -> Iterator[Binding]:
+        if not remaining:
+            yield dict(current)
+            return
+        # Greedy: most-bound atom first, smaller relation on ties.
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: (_boundness(remaining[i], current),
+                           -database.count(remaining[i].predicate)))
+        chosen = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1:]
+        probe_pattern = pattern_of(chosen, current)
+        for row in database.match(chosen.predicate, probe_pattern):
+            if stats is not None:
+                stats.probes += 1
+            extended = _extend(chosen, row, current)
+            if extended is not None:
+                yield from backtrack(rest, extended)
+
+    yield from backtrack(list(atoms), start)
+
+
+def solve_project(database: Database, atoms: Sequence[Atom],
+                  out_terms: Sequence[Term],
+                  binding: Mapping[Variable, object] | None = None,
+                  stats: EvaluationStats | None = None
+                  ) -> set[tuple]:
+    """The projections of all solutions onto *out_terms*.
+
+    This is rule application: *out_terms* is typically the head's
+    argument list.
+    """
+    results: set[tuple] = set()
+    for solution in solve(database, atoms, binding, stats):
+        row = tuple(
+            term.value if isinstance(term, Constant)
+            else solution[term]
+            for term in out_terms)
+        results.add(row)
+        if stats is not None:
+            stats.derived += 1
+    return results
+
+
+def satisfiable(database: Database, atoms: Sequence[Atom],
+                binding: Mapping[Variable, object] | None = None,
+                stats: EvaluationStats | None = None) -> bool:
+    """The paper's existence check ∃: is there at least one solution?"""
+    return next(solve(database, atoms, binding, stats), None) is not None

@@ -1,0 +1,65 @@
+"""Naive bottom-up evaluation (the unoptimised baseline).
+
+Every fixpoint round re-evaluates every rule against the whole
+database.  Sound and complete for range-restricted programs over
+finite EDBs; deliberately wasteful — it is the baseline the paper's
+compiled evaluation is measured against.
+"""
+
+from __future__ import annotations
+
+from ..datalog.program import Program, RecursionSystem
+from ..ra.database import Database
+from .conjunctive import solve_project
+from .query import Query
+from .stats import EvaluationStats
+
+
+class NaiveEngine:
+    """Round-robin naive fixpoint over all rules."""
+
+    name = "naive"
+
+    def evaluate(self, system: RecursionSystem | Program, edb: Database,
+                 query: Query | None = None,
+                 stats: EvaluationStats | None = None) -> frozenset[tuple]:
+        """All tuples of the recursive predicate, filtered by *query*.
+
+        >>> from ..datalog.parser import parse_system
+        >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        >>> db = Database.from_dict({
+        ...     "A": [("a", "b"), ("b", "c")],
+        ...     "P__exit": [("c", "c")]})
+        >>> sorted(NaiveEngine().evaluate(s, db))
+        [('a', 'c'), ('b', 'c'), ('c', 'c')]
+        """
+        program = (system.program()
+                   if isinstance(system, RecursionSystem) else system)
+        if stats is None:
+            stats = EvaluationStats(engine=self.name)
+        else:
+            stats.engine = self.name
+        database = edb.copy()
+        predicates = {rule.head.predicate for rule in program.rules}
+        for predicate in predicates:
+            arity = program.rules_for(predicate)[0].head.arity
+            database.declare(predicate, arity)
+
+        while True:
+            new_tuples = 0
+            for rule in program.rules:
+                derived = solve_project(database, rule.body,
+                                        rule.head.args, stats=stats)
+                for row in derived:
+                    new_tuples += database.add(rule.head.predicate, row)
+            stats.record_round(new_tuples)
+            if new_tuples == 0:
+                break
+
+        answers = database.rows(
+            query.predicate if query is not None
+            else next(iter(predicates)))
+        if query is not None:
+            answers = query.filter(answers)
+        stats.answers = len(answers)
+        return frozenset(answers)

@@ -1,0 +1,108 @@
+"""Queries against the recursive predicate.
+
+A :class:`Query` is the paper's ``P(a, b, Z)``: a pattern over the
+recursive predicate with constants at the *determined* positions and
+free slots elsewhere.  Its adornment (``"ddv"``) is what the compiler
+consumes; its constants seed the evaluation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..core.bindings import Adornment, adornment_to_string
+from ..datalog.errors import DatalogSyntaxError
+
+_QUERY_RE = re.compile(
+    r"\s*(?P<pred>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<args>[^)]*)\)\s*\??\s*\Z")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query pattern: constants at bound positions, None elsewhere.
+
+    >>> q = Query.parse("P(a, Y, Z)")
+    >>> q.pattern
+    ('a', None, None)
+    >>> q.adornment_string
+    'dvv'
+    """
+
+    predicate: str
+    pattern: tuple[object | None, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "Query":
+        """Parse ``P(a, Y, Z)``: capitalised names, ``_`` and ``?`` are
+        free slots; lower-case names, quoted strings and numbers are
+        constants."""
+        match = _QUERY_RE.match(text)
+        if match is None:
+            raise DatalogSyntaxError(f"cannot parse query: {text!r}")
+        raw = [a.strip() for a in match.group("args").split(",")] \
+            if match.group("args").strip() else []
+        pattern: list[object | None] = []
+        for piece in raw:
+            if piece in ("_", "?") or (piece and piece[0].isupper()):
+                pattern.append(None)
+            elif piece.startswith("'") and piece.endswith("'"):
+                pattern.append(piece[1:-1])
+            else:
+                try:
+                    pattern.append(int(piece))
+                except ValueError:
+                    try:
+                        pattern.append(float(piece))
+                    except ValueError:
+                        pattern.append(piece)
+        return cls(match.group("pred"), tuple(pattern))
+
+    @classmethod
+    def all_free(cls, predicate: str, arity: int) -> "Query":
+        """The fully open query ``P(v, ..., v)``."""
+        return cls(predicate, (None,) * arity)
+
+    @classmethod
+    def from_atom(cls, goal) -> "Query":
+        """Build a query from a goal atom (``?-`` statements): its
+        variables become free slots, constants stay bound."""
+        pattern = tuple(
+            None if not hasattr(term, "value") else term.value
+            for term in goal.args)
+        return cls(goal.predicate, pattern)
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.pattern)
+
+    @property
+    def adornment(self) -> Adornment:
+        """The bound positions (0-based)."""
+        return frozenset(i for i, v in enumerate(self.pattern)
+                         if v is not None)
+
+    @property
+    def adornment_string(self) -> str:
+        """The paper's d/v rendering of the adornment."""
+        return adornment_to_string(self.adornment, self.arity)
+
+    @property
+    def constants(self) -> dict[int, object]:
+        """Bound position → constant value."""
+        return {i: v for i, v in enumerate(self.pattern) if v is not None}
+
+    def matches(self, row: tuple) -> bool:
+        """True when *row* agrees with the pattern's constants."""
+        return all(value is None or row[i] == value
+                   for i, value in enumerate(self.pattern))
+
+    def filter(self, rows) -> frozenset[tuple]:
+        """The rows matching the pattern."""
+        return frozenset(row for row in rows if self.matches(row))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(v) if v is not None else "_"
+                          for v in self.pattern)
+        return f"{self.predicate}({inner})"

@@ -1,0 +1,55 @@
+"""Evaluation statistics shared by all engines.
+
+The benches compare engines by work done, not only wall-clock:
+``probes`` counts index lookups performed by the conjunctive solver,
+``derived`` the tuples produced (before deduplication), ``rounds`` the
+fixpoint iterations.  ``delta_sizes`` records the per-round new-tuple
+counts, from which the *measured rank* of a formula on a concrete
+database is read off (the quantity Ioannidis's theorem bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvaluationStats:
+    """Mutable counters filled in during one evaluation."""
+
+    engine: str = ""
+    rounds: int = 0
+    probes: int = 0
+    derived: int = 0
+    answers: int = 0
+    delta_sizes: list[int] = field(default_factory=list)
+
+    def record_round(self, new_tuples: int) -> None:
+        """Log one fixpoint round and its new-tuple count."""
+        self.rounds += 1
+        self.delta_sizes.append(new_tuples)
+
+    @property
+    def measured_rank(self) -> int:
+        """Index of the last round that produced a new tuple.
+
+        Round 0 is the exit round (depth-0 tuples); the measured rank
+        is the largest recursion depth that contributed a new tuple —
+        0 when the exits already produced everything.
+        """
+        last = 0
+        for index, size in enumerate(self.delta_sizes):
+            if size > 0:
+                last = index
+        return last
+
+    def merge(self, other: "EvaluationStats") -> None:
+        """Fold *other*'s counters into this one (sub-evaluations)."""
+        self.rounds += other.rounds
+        self.probes += other.probes
+        self.derived += other.derived
+
+    def summary(self) -> str:
+        """One-line rendering for bench output."""
+        return (f"{self.engine}: rounds={self.rounds} probes={self.probes} "
+                f"derived={self.derived} answers={self.answers}")

@@ -1,0 +1,81 @@
+"""Connected components of the hybrid I-graph.
+
+Connectivity here treats every edge — directed or undirected — as a
+link; this is the notion behind the paper's "disjoint" cycles and its
+component-wise classification (Theorem 12 argues per component).
+"""
+
+from __future__ import annotations
+
+from ..datalog.terms import Variable
+from .igraph import IGraph
+
+
+def components(graph: IGraph) -> tuple[frozenset[Variable], ...]:
+    """The connected components of *graph*, largest-name-sorted for
+    determinism.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> from .igraph import build_igraph
+    >>> g = build_igraph(parse_rule(
+    ...     "P(x, y) :- A(x, z), P(z, y)."))
+    >>> sorted(sorted(v.name for v in comp) for comp in components(g))
+    [['x', 'z'], ['y']]
+    """
+    adjacency: dict[Variable, set[Variable]] = {
+        v: set() for v in graph.vertices}
+    for edge in graph.directed:
+        adjacency[edge.tail].add(edge.head)
+        adjacency[edge.head].add(edge.tail)
+    for edge in graph.undirected:
+        adjacency[edge.left].add(edge.right)
+        adjacency[edge.right].add(edge.left)
+
+    seen: set[Variable] = set()
+    out: list[frozenset[Variable]] = []
+    for start in sorted(graph.vertices, key=lambda v: v.name):
+        if start in seen:
+            continue
+        stack = [start]
+        component: set[Variable] = set()
+        while stack:
+            vertex = stack.pop()
+            if vertex in component:
+                continue
+            component.add(vertex)
+            stack.extend(adjacency[vertex] - component)
+        seen.update(component)
+        out.append(frozenset(component))
+    return tuple(out)
+
+
+def component_subgraph(graph: IGraph,
+                       component: frozenset[Variable]) -> IGraph:
+    """The restriction of *graph* to the vertices of *component*."""
+    directed = tuple(e for e in graph.directed if e.tail in component)
+    undirected = tuple(e for e in graph.undirected if e.left in component)
+    return IGraph(component, directed, undirected, graph.predicate)
+
+
+def nontrivial_components(graph: IGraph) -> tuple[IGraph, ...]:
+    """Component subgraphs that contain at least one directed edge.
+
+    Trivial components (only non-recursive predicates among themselves)
+    play no role in the classification and are dropped here.
+    """
+    out = []
+    for component in components(graph):
+        subgraph = component_subgraph(graph, component)
+        if subgraph.is_nontrivial:
+            out.append(subgraph)
+    return tuple(out)
+
+
+def trivial_components(graph: IGraph) -> tuple[IGraph, ...]:
+    """Component subgraphs with no directed edge."""
+    out = []
+    for component in components(graph):
+        subgraph = component_subgraph(graph, component)
+        if not subgraph.is_nontrivial:
+            out.append(subgraph)
+    return tuple(out)

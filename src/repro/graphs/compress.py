@@ -1,0 +1,236 @@
+"""Compression of undirected connectivity (the paper's §3 Remark).
+
+The paper observes that several undirected edges "can be compressed
+into one edge": in ::
+
+    P(x, y) :- A(x, u) ∧ B(x, z) ∧ C(z, u) ∧ P(u, y)
+
+the trivial triangle ``x—z—u—x`` collapses to a single undirected edge
+``x —[ABC]— u`` and the formula has two independent unit cycles.
+
+We formalise the remark as follows.  Call the vertices incident to
+directed edges *anchors*.  Remove the directed edges; the remaining
+undirected sub-graph falls apart into connected *clusters*.  A cluster
+touching
+
+* **zero or one** anchors is a *decoration* — it contains no directed
+  edge and cannot take part in any non-trivial cycle, so it is dropped
+  from the cycle analysis (it still matters for determined-variable
+  propagation, which works on the full graph);
+* **exactly two** anchors acts as a single compressed undirected edge
+  between them, labelled with the concatenation of its predicates;
+* **three or more** anchors ties that many recursion positions
+  together — any non-trivial cycle through it is *dependent* (class E),
+  which the reduction records as a :class:`HyperCluster`.
+
+The result is the :class:`ReducedGraph` on which the classifier tests
+independence, one-directionality and cycle weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.terms import Variable
+from .edges import DirectedEdge
+from .igraph import IGraph
+
+
+@dataclass(frozen=True, slots=True)
+class CompressedEdge:
+    """A cluster with exactly two anchors, acting as one undirected edge.
+
+    Field names mirror :class:`~repro.graphs.edges.UndirectedEdge` so
+    traversal machinery treats both uniformly (weight 0).
+    """
+
+    left: Variable
+    right: Variable
+    label: str
+    cluster: frozenset[Variable]
+
+    WEIGHT = 0
+
+    def endpoints(self) -> frozenset[Variable]:
+        """The two anchor endpoints."""
+        return frozenset((self.left, self.right))
+
+    def other(self, vertex: Variable) -> Variable:
+        """The endpoint opposite *vertex*."""
+        if vertex == self.left:
+            return self.right
+        if vertex == self.right:
+            return self.left
+        raise ValueError(f"{vertex} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.left} —[{self.label}]— {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class HyperCluster:
+    """A cluster tying three or more anchors together (dependence)."""
+
+    anchors: frozenset[Variable]
+    label: str
+    cluster: frozenset[Variable]
+
+    def __str__(self) -> str:
+        names = ", ".join(sorted(v.name for v in self.anchors))
+        return f"hyper[{self.label}]({names})"
+
+
+@dataclass(frozen=True, slots=True)
+class Decoration:
+    """A cluster touching at most one anchor (ignored by cycle analysis)."""
+
+    anchor: Variable | None
+    label: str
+    cluster: frozenset[Variable]
+
+
+@dataclass(frozen=True)
+class ReducedGraph:
+    """The anchor-level multigraph obtained by cluster compression."""
+
+    source: IGraph
+    anchors: frozenset[Variable]
+    directed: tuple[DirectedEdge, ...]
+    compressed: tuple[CompressedEdge, ...]
+    hyper: tuple[HyperCluster, ...]
+    decorations: tuple[Decoration, ...]
+
+    # -- adjacency over the reduced multigraph ------------------------
+
+    def edges_at(self, vertex: Variable):
+        """All reduced edges (directed either role, compressed) at *vertex*."""
+        out: list = [e for e in self.directed
+                     if vertex in (e.tail, e.head)]
+        out.extend(e for e in self.compressed
+                   if vertex in (e.left, e.right))
+        return tuple(out)
+
+    def degree(self, vertex: Variable) -> int:
+        """Reduced incidence count; directed self-loops count twice."""
+        count = 0
+        for edge in self.directed:
+            if edge.is_self_loop and edge.tail == vertex:
+                count += 2
+            else:
+                count += int(vertex in (edge.tail, edge.head))
+        for comp_edge in self.compressed:
+            count += int(vertex in (comp_edge.left, comp_edge.right))
+        return count
+
+    def hyper_at(self, vertex: Variable) -> tuple[HyperCluster, ...]:
+        """Hyper-clusters one of whose anchors is *vertex*."""
+        return tuple(h for h in self.hyper if vertex in h.anchors)
+
+    # -- components ----------------------------------------------------
+
+    def component_partition(self) -> tuple[frozenset[Variable], ...]:
+        """Connected components of the reduced multigraph over anchors.
+
+        Hyper-clusters connect all their anchors.
+        """
+        adjacency: dict[Variable, set[Variable]] = {
+            v: set() for v in self.anchors}
+        for edge in self.directed:
+            adjacency[edge.tail].add(edge.head)
+            adjacency[edge.head].add(edge.tail)
+        for comp_edge in self.compressed:
+            adjacency[comp_edge.left].add(comp_edge.right)
+            adjacency[comp_edge.right].add(comp_edge.left)
+        for cluster in self.hyper:
+            anchor_list = sorted(cluster.anchors, key=lambda v: v.name)
+            for i, first in enumerate(anchor_list):
+                for second in anchor_list[i + 1:]:
+                    adjacency[first].add(second)
+                    adjacency[second].add(first)
+
+        seen: set[Variable] = set()
+        out: list[frozenset[Variable]] = []
+        for start in sorted(self.anchors, key=lambda v: v.name):
+            if start in seen:
+                continue
+            stack = [start]
+            component: set[Variable] = set()
+            while stack:
+                vertex = stack.pop()
+                if vertex in component:
+                    continue
+                component.add(vertex)
+                stack.extend(adjacency[vertex] - component)
+            seen.update(component)
+            out.append(frozenset(component))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        parts = [str(e) for e in self.directed]
+        parts += [str(e) for e in self.compressed]
+        parts += [str(h) for h in self.hyper]
+        return "; ".join(parts) if parts else "(empty)"
+
+
+def _cluster_label(graph: IGraph, cluster: frozenset[Variable]) -> str:
+    """Concatenated predicate label, in body order ("ABC" in the paper)."""
+    labels: list[str] = []
+    for edge in sorted(graph.undirected,
+                       key=lambda e: (e.atom_index, e.label)):
+        if edge.left in cluster and edge.label not in labels:
+            labels.append(edge.label)
+    return "".join(labels)
+
+
+def reduce_graph(graph: IGraph) -> ReducedGraph:
+    """Compress *graph*'s undirected clusters into a reduced multigraph.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> from .igraph import build_igraph
+    >>> g = build_igraph(parse_rule(
+    ...     "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y)."))
+    >>> reduced = reduce_graph(g)
+    >>> [str(e) for e in reduced.compressed]
+    ['u —[ABC]— x']
+    """
+    anchors = graph.anchors
+    adjacency: dict[Variable, set[Variable]] = {}
+    for edge in graph.undirected:
+        adjacency.setdefault(edge.left, set()).add(edge.right)
+        adjacency.setdefault(edge.right, set()).add(edge.left)
+
+    seen: set[Variable] = set()
+    compressed: list[CompressedEdge] = []
+    hyper: list[HyperCluster] = []
+    decorations: list[Decoration] = []
+    for start in sorted(adjacency, key=lambda v: v.name):
+        if start in seen:
+            continue
+        stack = [start]
+        cluster: set[Variable] = set()
+        while stack:
+            vertex = stack.pop()
+            if vertex in cluster:
+                continue
+            cluster.add(vertex)
+            stack.extend(adjacency[vertex] - cluster)
+        seen.update(cluster)
+        frozen = frozenset(cluster)
+        cluster_anchors = sorted(frozen & anchors, key=lambda v: v.name)
+        label = _cluster_label(graph, frozen)
+        if len(cluster_anchors) == 2:
+            compressed.append(CompressedEdge(
+                cluster_anchors[0], cluster_anchors[1], label, frozen))
+        elif len(cluster_anchors) > 2:
+            hyper.append(HyperCluster(
+                frozenset(cluster_anchors), label, frozen))
+        else:
+            anchor = cluster_anchors[0] if cluster_anchors else None
+            decorations.append(Decoration(anchor, label, frozen))
+
+    return ReducedGraph(source=graph,
+                        anchors=anchors,
+                        directed=graph.directed,
+                        compressed=tuple(compressed),
+                        hyper=tuple(hyper),
+                        decorations=tuple(decorations))

@@ -1,0 +1,309 @@
+"""Cycle objects and cycle extraction on I-graphs and reduced graphs.
+
+The paper's classification rests on a handful of cycle attributes:
+
+* **non-trivial** — contains at least one directed edge;
+* **independent** — not connected to other non-trivial cycles nor to
+  other directed edges (syntactically: its reduced component *is* the
+  cycle);
+* **one-directional** — every directed edge is traversed with the same
+  orientation; otherwise multi-directional;
+* **rotational** vs **permutational** — with vs without undirected
+  edges on the cycle;
+* **weight** — signed sum of edge weights along the traversal; a
+  one-directional cycle of weight 1 is a **unit** cycle.
+
+:class:`Cycle` carries a concrete traversal and exposes all of these.
+:func:`independent_cycle_of_component` implements the syntactic
+independence test on a reduced component;
+:func:`permutational_cycles` walks the pure directed sub-graph (used
+for Theorem 10 and the precondition of Ioannidis's theorem);
+:func:`fundamental_cycles` produces a cycle basis of the full hybrid
+graph for reporting and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.terms import Variable
+from .compress import CompressedEdge, ReducedGraph
+from .edges import DirectedEdge, TraversedEdge, UndirectedEdge
+from .igraph import IGraph
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A concrete cycle traversal in a hybrid weighted (multi)graph."""
+
+    steps: tuple[TraversedEdge, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a cycle needs at least one step")
+        for current, following in zip(self.steps,
+                                      self.steps[1:] + self.steps[:1]):
+            if current.target != following.source:
+                raise ValueError(
+                    f"steps do not chain: {current} then {following}")
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def vertices(self) -> tuple[Variable, ...]:
+        """Vertices in traversal order (each once)."""
+        return tuple(step.source for step in self.steps)
+
+    @property
+    def weight(self) -> int:
+        """Signed sum of the traversed edge weights (paper definition)."""
+        return sum(step.weight for step in self.steps)
+
+    @property
+    def directed_steps(self) -> tuple[TraversedEdge, ...]:
+        """Steps over directed edges."""
+        return tuple(s for s in self.steps
+                     if isinstance(s.edge, DirectedEdge))
+
+    @property
+    def undirected_steps(self) -> tuple[TraversedEdge, ...]:
+        """Steps over undirected (incl. compressed) edges."""
+        return tuple(s for s in self.steps
+                     if not isinstance(s.edge, DirectedEdge))
+
+    @property
+    def is_nontrivial(self) -> bool:
+        """True iff the cycle uses at least one directed edge."""
+        return bool(self.directed_steps)
+
+    # -- paper attributes ----------------------------------------------
+
+    @property
+    def is_one_directional(self) -> bool:
+        """All directed edges traversed with the same orientation."""
+        signs = {step.weight for step in self.directed_steps}
+        return self.is_nontrivial and len(signs) == 1
+
+    @property
+    def is_multi_directional(self) -> bool:
+        """Non-trivial but with directed edges in both orientations."""
+        return self.is_nontrivial and not self.is_one_directional
+
+    @property
+    def is_permutational(self) -> bool:
+        """One-directional with no undirected edges at all."""
+        return self.is_one_directional and not self.undirected_steps
+
+    @property
+    def is_rotational(self) -> bool:
+        """One-directional with at least one undirected edge."""
+        return self.is_one_directional and bool(self.undirected_steps)
+
+    @property
+    def is_unit(self) -> bool:
+        """One-directional of absolute weight 1."""
+        return self.is_one_directional and abs(self.weight) == 1
+
+    def canonical(self) -> "Cycle":
+        """The traversal oriented so the weight is non-negative."""
+        if self.weight >= 0:
+            return self
+        reversed_steps = tuple(
+            TraversedEdge(step.edge, not step.forward)
+            for step in reversed(self.steps))
+        return Cycle(reversed_steps)
+
+    def __str__(self) -> str:
+        chain = " ".join(str(step) for step in self.steps)
+        return f"[{chain}] (weight {self.weight})"
+
+
+def self_loop_cycle(edge: DirectedEdge) -> Cycle:
+    """The unit permutational cycle of a self-loop ``x → x``."""
+    return Cycle((TraversedEdge(edge, True),))
+
+
+def independent_cycle_of_component(
+        reduced: ReducedGraph,
+        component: frozenset[Variable]) -> Cycle | None:
+    """The unique simple cycle, when *component* is exactly one cycle.
+
+    A reduced component is an **independent** cycle iff it contains no
+    hyper-cluster and every anchor has reduced degree exactly two —
+    then the component is a single simple cycle (possibly a directed
+    self-loop) and the paper's independence condition holds.  Returns
+    None otherwise (the component is then either acyclic, class D, or
+    dependent, class E).
+    """
+    for vertex in component:
+        if reduced.hyper_at(vertex):
+            return None
+        if reduced.degree(vertex) != 2:
+            return None
+
+    start = min(component, key=lambda v: v.name)
+    edges_here = reduced.edges_at(start)
+    loop = next((e for e in edges_here
+                 if isinstance(e, DirectedEdge) and e.is_self_loop), None)
+    if loop is not None:
+        return self_loop_cycle(loop)
+
+    # Walk the cycle: leave `start` by its first edge, and at every
+    # vertex continue over the incident edge not just used.
+    steps: list[TraversedEdge] = []
+    used_edges: list = []
+    current = start
+    previous_edge = None
+    while True:
+        candidates = [e for e in reduced.edges_at(current)
+                      if e is not previous_edge]
+        # Parallel two-edge cycles: both edges incident, pick the unused
+        # one; on the very first step any edge will do.
+        edge = candidates[0] if candidates else previous_edge
+        step = _traverse_from(edge, current)
+        steps.append(step)
+        used_edges.append(edge)
+        previous_edge = edge
+        current = step.target
+        if current == start:
+            break
+        if len(steps) > 2 * len(component):  # pragma: no cover - guard
+            return None
+    return Cycle(tuple(steps)).canonical()
+
+
+def _traverse_from(edge, source: Variable) -> TraversedEdge:
+    """A traversal step over *edge* leaving from *source*."""
+    if isinstance(edge, DirectedEdge):
+        return TraversedEdge(edge, forward=edge.tail == source)
+    left = edge.left
+    return TraversedEdge(edge, forward=left == source)
+
+
+def permutational_cycles(graph: IGraph) -> tuple[Cycle, ...]:
+    """All pure-directed cycles (the paper's *permutational patterns*).
+
+    Because each vertex is the tail of at most one directed edge and
+    the head of at most one, the directed sub-graph decomposes into
+    disjoint simple paths and simple cycles; the cycles are found by
+    following out-edges.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> from .igraph import build_igraph
+    >>> g = build_igraph(parse_rule(
+    ...     "P(x, y, z, u, v, w) :- P(z, y, u, x, w, v)."))
+    >>> sorted(c.weight for c in permutational_cycles(g))
+    [1, 2, 3]
+    """
+    cycles: list[Cycle] = []
+    visited: set[Variable] = set()
+    for start in sorted(graph.anchors, key=lambda v: v.name):
+        if start in visited:
+            continue
+        trail: list[Variable] = []
+        positions: dict[Variable, int] = {}
+        vertex = start
+        while vertex is not None and vertex not in positions:
+            if vertex in visited:
+                break
+            positions[vertex] = len(trail)
+            trail.append(vertex)
+            out = graph.out_edge(vertex)
+            vertex = out.head if out is not None else None
+        visited.update(trail)
+        if vertex is not None and vertex in positions:
+            loop_vertices = trail[positions[vertex]:]
+            steps = tuple(
+                TraversedEdge(graph.out_edge(v), True)
+                for v in loop_vertices)
+            cycles.append(Cycle(steps))
+    return tuple(cycles)
+
+
+def fundamental_cycles(graph: IGraph) -> tuple[Cycle, ...]:
+    """A fundamental cycle basis of the full hybrid graph.
+
+    Builds a BFS spanning forest (treating every edge as a link); each
+    non-tree edge closes exactly one cycle with the tree path between
+    its endpoints.  Self-loops yield their singleton cycle.  Used for
+    reporting the cycle structure of dependent components.
+    """
+    all_edges: list = list(graph.directed) + list(graph.undirected)
+    parent: dict[Variable, tuple[Variable, object] | None] = {}
+    tree_edges: set[int] = set()
+    cycles: list[Cycle] = []
+
+    incident: dict[Variable, list[tuple[int, object]]] = {
+        v: [] for v in graph.vertices}
+    for index, edge in enumerate(all_edges):
+        if isinstance(edge, DirectedEdge):
+            if edge.is_self_loop:
+                continue
+            incident[edge.tail].append((index, edge))
+            incident[edge.head].append((index, edge))
+        else:
+            incident[edge.left].append((index, edge))
+            incident[edge.right].append((index, edge))
+
+    for root in sorted(graph.vertices, key=lambda v: v.name):
+        if root in parent:
+            continue
+        parent[root] = None
+        queue = [root]
+        while queue:
+            vertex = queue.pop(0)
+            for index, edge in incident[vertex]:
+                other = (edge.head if isinstance(edge, DirectedEdge)
+                         and edge.tail == vertex else
+                         edge.tail if isinstance(edge, DirectedEdge) else
+                         edge.other(vertex))
+                if other not in parent:
+                    parent[other] = (vertex, edge)
+                    tree_edges.add(index)
+                    queue.append(other)
+
+    def tree_path(source: Variable, target: Variable) -> list[TraversedEdge]:
+        """Traversal steps from *source* to *target* through the tree."""
+        def root_path(vertex: Variable) -> list[Variable]:
+            path = [vertex]
+            while parent[path[-1]] is not None:
+                path.append(parent[path[-1]][0])
+            return path
+
+        up_source = root_path(source)
+        up_target = root_path(target)
+        common = None
+        target_set = set(up_target)
+        for vertex in up_source:
+            if vertex in target_set:
+                common = vertex
+                break
+        assert common is not None
+        steps: list[TraversedEdge] = []
+        vertex = source
+        while vertex != common:
+            above, edge = parent[vertex]
+            steps.append(_traverse_from(edge, vertex))
+            vertex = above
+        down: list[TraversedEdge] = []
+        vertex = target
+        while vertex != common:
+            above, edge = parent[vertex]
+            down.append(_traverse_from(edge, above))
+            vertex = above
+        return steps + list(reversed(down))
+
+    for index, edge in enumerate(all_edges):
+        if isinstance(edge, DirectedEdge) and edge.is_self_loop:
+            cycles.append(self_loop_cycle(edge))
+            continue
+        if index in tree_edges:
+            continue
+        if isinstance(edge, DirectedEdge):
+            source, target = edge.tail, edge.head
+        else:
+            source, target = edge.left, edge.right
+        closing = _traverse_from(edge, source)
+        back = tree_path(target, source)
+        cycles.append(Cycle(tuple([closing] + back)).canonical())
+    return tuple(cycles)

@@ -1,0 +1,132 @@
+"""Edge types of the labelled, weighted, hybrid I-graph.
+
+The paper's graph ``G = (V, E_u, E_d, W, L)`` has two edge families:
+
+* **directed** edges, one per argument position of the recursive
+  predicate, from the consequent variable to the antecedent variable in
+  the same position, with weight +1 (and an implicit reverse edge of
+  weight −1);
+* **undirected** edges, weight 0, connecting the variables of each
+  non-recursive body atom, labelled with that predicate.
+
+Both are immutable value objects.  A :class:`TraversedEdge` pairs an
+edge with a traversal direction so cycles and paths can carry their
+signed weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..datalog.terms import Variable
+
+
+@dataclass(frozen=True, slots=True)
+class DirectedEdge:
+    """A directed edge ``tail → head`` of weight +1.
+
+    ``tail`` is the consequent (rule-head) variable and ``head`` the
+    antecedent (recursive body atom) variable at the same argument
+    ``position`` (0-based).  A self-loop (``tail == head``) is the
+    paper's *unit permutational* cycle.
+    """
+
+    tail: Variable
+    head: Variable
+    position: int
+
+    #: weight of every directed edge, by definition
+    WEIGHT = 1
+
+    @property
+    def is_self_loop(self) -> bool:
+        """True for edges ``x → x`` (class A2 unit permutational cycles)."""
+        return self.tail == self.head
+
+    def endpoints(self) -> frozenset[Variable]:
+        """The set of incident vertices (singleton for self-loops)."""
+        return frozenset((self.tail, self.head))
+
+    def __str__(self) -> str:
+        return f"{self.tail} →({self.position + 1}) {self.head}"
+
+
+@dataclass(frozen=True, slots=True)
+class UndirectedEdge:
+    """An undirected edge of weight 0, labelled with an EDB predicate.
+
+    ``atom_index`` is the position of the contributing non-recursive
+    atom in the rule body, letting several atoms over the same
+    predicate contribute distinguishable parallel edges.
+    """
+
+    left: Variable
+    right: Variable
+    label: str
+    atom_index: int
+
+    WEIGHT = 0
+
+    def endpoints(self) -> frozenset[Variable]:
+        """The set of incident vertices."""
+        return frozenset((self.left, self.right))
+
+    def other(self, vertex: Variable) -> Variable:
+        """The endpoint opposite *vertex*."""
+        if vertex == self.left:
+            return self.right
+        if vertex == self.right:
+            return self.left
+        raise ValueError(f"{vertex} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        return f"{self.left} —[{self.label}]— {self.right}"
+
+
+#: Any I-graph edge.
+Edge = Union[DirectedEdge, UndirectedEdge]
+
+
+@dataclass(frozen=True, slots=True)
+class TraversedEdge:
+    """An edge together with the direction it is walked in.
+
+    For a directed edge, ``forward`` means along the arrow (weight +1);
+    backward traversal uses the implicit reverse edge (weight −1).
+    Undirected edges have weight 0 either way; ``forward`` records
+    whether the walk goes ``left → right``.
+    """
+
+    edge: Edge
+    forward: bool
+
+    @property
+    def weight(self) -> int:
+        """Signed weight contributed to a path containing this step."""
+        if isinstance(self.edge, DirectedEdge):
+            return 1 if self.forward else -1
+        return 0
+
+    @property
+    def source(self) -> Variable:
+        """The vertex the step leaves from."""
+        if isinstance(self.edge, DirectedEdge):
+            return self.edge.tail if self.forward else self.edge.head
+        return self.edge.left if self.forward else self.edge.right
+
+    @property
+    def target(self) -> Variable:
+        """The vertex the step arrives at."""
+        if isinstance(self.edge, DirectedEdge):
+            return self.edge.head if self.forward else self.edge.tail
+        return self.edge.right if self.forward else self.edge.left
+
+    def __str__(self) -> str:
+        arrow = "→" if self.weight > 0 else ("←" if self.weight < 0 else "—")
+        return f"{self.source} {arrow} {self.target}"
+
+
+def path_weight(steps: tuple[TraversedEdge, ...]) -> int:
+    """Sum of signed weights along a walk (the paper's path weight)."""
+    return sum(step.weight for step in steps)

@@ -1,0 +1,109 @@
+"""Rendering of I-graphs and resolution graphs (the paper's figures).
+
+The paper's figures are drawings of I-graphs and resolution graphs.
+We render the same information in two machine-checkable forms:
+
+* :func:`ascii_figure` — a deterministic text listing (vertices, then
+  directed edges with positions, then undirected edges with labels),
+  which is what the figure-reproduction benches print and assert on;
+* :func:`to_dot` — Graphviz source for anyone who wants the drawing.
+"""
+
+from __future__ import annotations
+
+from ..datalog.pretty import subscript
+from .igraph import IGraph
+from .resolution import ResolutionGraph
+
+
+def ascii_figure(graph: IGraph, title: str = "") -> str:
+    """A deterministic text rendering of *graph*.
+
+    >>> from ..datalog.parser import parse_rule
+    >>> from .igraph import build_igraph
+    >>> print(ascii_figure(build_igraph(parse_rule(
+    ...     "P(x, y) :- A(x, z), P(z, y).")), title="Figure 1(a)"))
+    Figure 1(a)
+      vertices: x, y, z
+      x →(1) z        [P, weight +1]
+      y →(2) y        [P, weight +1, self-loop]
+      x —(A)— z       [weight 0]
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    names = ", ".join(sorted(subscript(v.name) for v in graph.vertices))
+    lines.append(f"  vertices: {names}")
+    for edge in sorted(graph.directed, key=lambda e: e.position):
+        loop = ", self-loop" if edge.is_self_loop else ""
+        lines.append(
+            f"  {subscript(edge.tail.name)} →({edge.position + 1}) "
+            f"{subscript(edge.head.name)}        "
+            f"[{graph.predicate}, weight +1{loop}]")
+    for edge in sorted(graph.undirected,
+                       key=lambda e: (e.atom_index, e.label,
+                                      e.left.name, e.right.name)):
+        lines.append(
+            f"  {subscript(edge.left.name)} —({edge.label})— "
+            f"{subscript(edge.right.name)}       [weight 0]")
+    return "\n".join(lines)
+
+
+def ascii_resolution(resolution: ResolutionGraph, title: str = "") -> str:
+    """Text rendering of a resolution graph, frontier included."""
+    base = ascii_figure(resolution.graph, title)
+    frontier = ", ".join(subscript(v.name) for v in resolution.frontier)
+    return (f"{base}\n  frontier (recursive atom of expansion "
+            f"{resolution.level}): {frontier}")
+
+
+def ascii_reduced(reduced, title: str = "") -> str:
+    """Text rendering of a reduced (cluster-compressed) graph.
+
+    Shows the anchor-level structure the classifier actually tests:
+    directed edges, compressed undirected edges with their concatenated
+    labels, hyper-clusters (the dependence witnesses), and decorations.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    anchors = ", ".join(sorted(subscript(v.name)
+                               for v in reduced.anchors))
+    lines.append(f"  anchors: {anchors}")
+    for edge in sorted(reduced.directed, key=lambda e: e.position):
+        lines.append(f"  {subscript(edge.tail.name)} "
+                     f"→({edge.position + 1}) "
+                     f"{subscript(edge.head.name)}")
+    for comp_edge in sorted(reduced.compressed,
+                            key=lambda e: (e.label, e.left.name)):
+        lines.append(f"  {subscript(comp_edge.left.name)} "
+                     f"—[{comp_edge.label}]— "
+                     f"{subscript(comp_edge.right.name)}   (compressed)")
+    for cluster in sorted(reduced.hyper, key=lambda h: h.label):
+        names = ", ".join(sorted(subscript(v.name)
+                                 for v in cluster.anchors))
+        lines.append(f"  hyper[{cluster.label}]({names})   "
+                     f"(ties {len(cluster.anchors)} anchors → dependent)")
+    for decoration in reduced.decorations:
+        anchor = (subscript(decoration.anchor.name)
+                  if decoration.anchor else "—")
+        lines.append(f"  decoration[{decoration.label}] at {anchor}")
+    return "\n".join(lines)
+
+
+def to_dot(graph: IGraph, name: str = "igraph") -> str:
+    """Graphviz DOT source for *graph*."""
+    lines = [f"graph {name} {{", "  rankdir=LR;"]
+    for vertex in sorted(graph.vertices, key=lambda v: v.name):
+        lines.append(f'  "{vertex.name}" [shape=circle];')
+    for edge in sorted(graph.directed, key=lambda e: e.position):
+        lines.append(
+            f'  "{edge.tail.name}" -- "{edge.head.name}" '
+            f'[dir=forward, label="+1", color=black];')
+    for edge in sorted(graph.undirected,
+                       key=lambda e: (e.atom_index, e.label)):
+        lines.append(
+            f'  "{edge.left.name}" -- "{edge.right.name}" '
+            f'[label="{edge.label}", style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Resolution graphs: the graph of the k-th expansion of a formula.
+
+The paper's definition (section 2): the first resolution graph is the
+I-graph of the formula; the k-th is obtained from the (k−1)-st by
+renumbering the rule's variables, unifying the renamed head with the
+recursive atom of the (k−1)-st expansion, and appending the renamed
+I-graph along the shared variables.  All arrows of earlier levels are
+*retained*, which is what lets the graph show e.g. that after two
+expansions the weight from ``x`` to ``z₁`` is two (Figure 2(c)).
+
+Two views are provided:
+
+* :class:`ResolutionGraph` — the cumulative graph with retained
+  arrows, level by level;
+* :meth:`ResolutionGraph.collapsed_igraph` — the I-graph of the k-th
+  expansion *considered as a formula by itself* (Figure 2(d)), i.e.
+  directed edges run straight from the consequent variables to the
+  recursive-atom variables of the k-th expansion.  Theorem 2's claim
+  that a weight-n one-directional formula "becomes stable after each n
+  expansions" is checked on this view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.program import RecursionSystem
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable
+from .edges import DirectedEdge, UndirectedEdge
+from .igraph import IGraph, build_igraph, undirected_edges_of_atom
+
+
+@dataclass(frozen=True)
+class ResolutionGraph:
+    """The k-th resolution graph of a recursion system.
+
+    Attributes
+    ----------
+    system:
+        The recursion system the graph was expanded from.
+    level:
+        The expansion depth k (k = 1 is the I-graph itself).
+    graph:
+        The cumulative hybrid graph: undirected edges of all k layers
+        plus the retained directed edges of every layer.  Directed
+        edges keep their position; their layer is recoverable from the
+        variables' renaming subscripts.
+    expansion:
+        The k-th expansion rule (still containing the recursive atom).
+    frontier:
+        The recursive-atom variables of the k-th expansion, in
+        positional order — the vertices new arrows would grow from.
+    """
+
+    system: RecursionSystem
+    level: int
+    graph: IGraph
+    expansion: Rule
+    frontier: tuple[Variable, ...]
+
+    def collapsed_igraph(self) -> IGraph:
+        """The I-graph of the k-th expansion as a formula by itself.
+
+        Directed edges run from the head variables straight to the
+        frontier variables (weight k paths collapse to single edges of
+        the new formula) — the paper's Figure 2(d) view.
+        """
+        return build_igraph(self.expansion)
+
+    def __str__(self) -> str:
+        return (f"ResolutionGraph(level {self.level}, "
+                f"{len(self.graph.directed)} directed, "
+                f"{len(self.graph.undirected)} undirected)")
+
+
+def resolution_graph(system: RecursionSystem, level: int) -> ResolutionGraph:
+    """Build the *level*-th resolution graph of *system*.
+
+    >>> from ..datalog.parser import parse_system
+    >>> s = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+    >>> second = resolution_graph(s, 2)
+    >>> len(second.graph.directed)   # arrows of both layers retained
+    4
+    >>> [v.name for v in second.frontier]
+    ['z_1', 'u_1']
+    """
+    if level < 1:
+        raise ValueError(f"resolution graph level must be >= 1, got {level}")
+
+    directed: list[DirectedEdge] = []
+    undirected: list[UndirectedEdge] = []
+    vertices: set[Variable] = set()
+
+    expansion = system.recursive.rule
+    previous_frontier = tuple(
+        t for t in system.recursive.head.args if isinstance(t, Variable))
+    seen_atoms: set[int] = set()
+    atom_counter = 0
+
+    for current_level in range(1, level + 1):
+        if current_level > 1:
+            expansion = system.expansion(current_level)
+        recursive_atom = next(
+            a for a in expansion.body
+            if a.predicate == system.predicate)
+        frontier = tuple(t for t in recursive_atom.args
+                         if isinstance(t, Variable))
+        for position, (tail, head) in enumerate(
+                zip(previous_frontier, frontier)):
+            edge = DirectedEdge(tail, head, position)
+            if edge not in directed:  # self-loops persist across levels
+                directed.append(edge)
+        for body_atom in expansion.body:
+            if body_atom.predicate == system.predicate:
+                continue
+            key = hash((body_atom.predicate, body_atom.args))
+            if key in seen_atoms:
+                continue
+            seen_atoms.add(key)
+            undirected.extend(
+                undirected_edges_of_atom(body_atom, atom_counter))
+            atom_counter += 1
+        vertices.update(expansion.variables)
+        previous_frontier = frontier
+
+    graph = IGraph(frozenset(vertices), tuple(directed), tuple(undirected),
+                   system.predicate)
+    return ResolutionGraph(system=system, level=level, graph=graph,
+                           expansion=expansion,
+                           frontier=previous_frontier)
+
+
+def resolution_trace(system: RecursionSystem,
+                     depth: int) -> tuple[ResolutionGraph, ...]:
+    """Resolution graphs for levels 1..depth (the paper's figure series)."""
+    return tuple(resolution_graph(system, k) for k in range(1, depth + 1))

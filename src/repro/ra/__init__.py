@@ -1,0 +1,22 @@
+"""Relational-algebra substrate: relations, a fact store, expressions."""
+
+from .database import Database, Pattern
+from .expr import (CartesianProduct, DifferenceOp, EqualColumns, Expr,
+                   Extend, Join, Literal,
+                   Projection, Renaming, Scan, Selection, Semijoin,
+                   UnionOp, evaluate, scan, select)
+from .io import (load_database, load_relation, save_database,
+                 save_relation)
+from .optimize import (count_nodes, optimize, output_columns,
+                       selection_depths)
+from .relation import Relation, relation_from_pairs
+
+__all__ = [
+    "CartesianProduct", "Database", "DifferenceOp", "EqualColumns",
+    "Expr", "Extend", "Join",
+    "Literal", "Pattern", "Projection", "Relation", "Renaming", "Scan",
+    "Selection", "Semijoin", "UnionOp", "evaluate",
+    "load_database", "load_relation", "relation_from_pairs",
+    "save_database", "save_relation", "scan", "select",
+    "count_nodes", "optimize", "output_columns", "selection_depths",
+]

@@ -1,0 +1,201 @@
+"""The extensional database: named fact relations with hash indexes.
+
+A :class:`Database` stores the EDB (and, during bottom-up evaluation,
+the IDB) as mutable sets of tuples keyed by predicate name, with
+per-position hash indexes built lazily and invalidated on insertion —
+the access-path layer every engine shares.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.errors import EvaluationError
+from ..datalog.program import Program
+from ..datalog.terms import Constant
+from .relation import Relation
+
+#: A match pattern: one entry per position, None meaning "any value".
+Pattern = tuple
+
+
+class Database:
+    """Mutable fact store keyed by predicate name.
+
+    >>> db = Database()
+    >>> db.add("A", ("a", "b"))
+    True
+    >>> db.add("A", ("a", "b"))   # duplicates are ignored
+    False
+    >>> sorted(db.match("A", ("a", None)))
+    [('a', 'b')]
+    """
+
+    def __init__(self, indexed: bool = True) -> None:
+        self._relations: dict[str, set[tuple]] = {}
+        self._arities: dict[str, int] = {}
+        self._indexes: dict[tuple[str, int], dict[object, set[tuple]]] = {}
+        #: when False, `match` falls back to full scans (for ablations)
+        self.indexed = indexed
+        #: rows examined while matching (indexes make this ≈ answers)
+        self.touches = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_atoms(cls, facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        db = cls()
+        for fact in facts:
+            db.add(fact.predicate,
+                   tuple(term.value for term in fact.args
+                         if isinstance(term, Constant)))
+        return db
+
+    @classmethod
+    def from_program(cls, program: Program) -> "Database":
+        """Build a database from a program's fact section."""
+        return cls.from_atoms(program.facts)
+
+    @classmethod
+    def from_dict(cls, relations: Mapping[str, Iterable[tuple]]
+                  ) -> "Database":
+        """Build a database from ``{"A": [("a", "b"), ...]}``."""
+        db = cls()
+        for name, rows in relations.items():
+            db.bulk(name, rows)
+        return db
+
+    def copy(self) -> "Database":
+        """An independent copy (indexes are rebuilt lazily)."""
+        db = Database(indexed=self.indexed)
+        for name, rows in self._relations.items():
+            db._relations[name] = set(rows)
+            db._arities[name] = self._arities[name]
+        return db
+
+    # -- mutation -------------------------------------------------------
+
+    def _check_arity(self, name: str, row: tuple) -> None:
+        known = self._arities.get(name)
+        if known is None:
+            self._arities[name] = len(row)
+        elif known != len(row):
+            raise EvaluationError(
+                f"arity mismatch for {name!r}: expected {known}, "
+                f"got {len(row)} in {row}")
+
+    def add(self, name: str, row: tuple) -> bool:
+        """Insert one row; returns True when it was new."""
+        row = tuple(row)
+        self._check_arity(name, row)
+        rows = self._relations.setdefault(name, set())
+        if row in rows:
+            return False
+        rows.add(row)
+        for (indexed_name, position), index in self._indexes.items():
+            if indexed_name == name:
+                index.setdefault(row[position], set()).add(row)
+        return True
+
+    def bulk(self, name: str, rows: Iterable[tuple]) -> int:
+        """Insert many rows; returns the number actually new."""
+        added = 0
+        for row in rows:
+            added += self.add(name, row)
+        return added
+
+    def declare(self, name: str, arity: int) -> None:
+        """Register an (initially empty) relation with known arity."""
+        self._check_arity(name, (None,) * arity)
+        self._relations.setdefault(name, set())
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def rows(self, name: str) -> frozenset[tuple]:
+        """All rows of a relation (empty when unknown — an absent EDB
+        relation is an empty one, as in any Datalog engine)."""
+        return frozenset(self._relations.get(name, ()))
+
+    def count(self, name: str) -> int:
+        """Number of rows in the relation."""
+        return len(self._relations.get(name, ()))
+
+    def arity(self, name: str) -> int | None:
+        """Known arity of the relation, None when never seen."""
+        return self._arities.get(name)
+
+    def total_facts(self) -> int:
+        """Number of rows across all relations."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def _index(self, name: str, position: int) -> dict[object, set[tuple]]:
+        key = (name, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self._relations.get(name, ()):
+                index.setdefault(row[position], set()).add(row)
+            self._indexes[key] = index
+        return index
+
+    def match(self, name: str, pattern: Pattern) -> Iterator[tuple]:
+        """All rows matching *pattern* (None entries are wildcards).
+
+        Uses a hash index on the first bound position, then filters the
+        remaining bound positions.
+        """
+        bound = [(i, v) for i, v in enumerate(pattern) if v is not None]
+        if not bound:
+            rows = self._relations.get(name, ())
+            self.touches += len(rows)
+            yield from rows
+            return
+        if self.indexed:
+            first_position, first_value = bound[0]
+            candidates = self._index(name, first_position).get(
+                first_value, ())
+            rest = bound[1:]
+        else:
+            candidates = self._relations.get(name, ())
+            rest = bound
+        for row in candidates:
+            self.touches += 1
+            if all(row[i] == v for i, v in rest):
+                yield row
+
+    def has_match(self, name: str, pattern: Pattern) -> bool:
+        """True when at least one row matches *pattern*."""
+        return next(self.match(name, pattern), None) is not None
+
+    def relation(self, name: str,
+                 columns: Iterable[str] | None = None) -> Relation:
+        """A :class:`Relation` view of the stored rows."""
+        rows = self._relations.get(name, set())
+        if columns is None:
+            arity = self._arities.get(name, 0)
+            columns = tuple(f"c{i}" for i in range(arity))
+        return Relation(columns, rows)
+
+    def active_domain(self) -> frozenset:
+        """Every constant appearing anywhere in the database."""
+        values: set = set()
+        for rows in self._relations.values():
+            for row in rows:
+                values.update(row)
+        return frozenset(values)
+
+    def __contains__(self, name_row: tuple[str, tuple]) -> bool:
+        name, row = name_row
+        return tuple(row) in self._relations.get(name, ())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}:{len(rows)}"
+                          for name, rows in sorted(self._relations.items()))
+        return f"Database({parts})"

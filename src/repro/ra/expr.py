@@ -1,0 +1,182 @@
+"""Relational-algebra expression trees and their evaluator.
+
+A small executable algebra over :class:`~repro.ra.relation.Relation`:
+scans read named relations from a :class:`~repro.ra.database.Database`,
+the operators mirror the Relation methods.  Used by the test suite's
+algebraic-law checks and by examples that want to show a compiled
+formula actually running as algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from ..datalog.errors import SchemaError
+from .database import Database
+from .relation import Relation
+
+Expr = Union["Scan", "Literal", "Selection", "EqualColumns", "Extend",
+             "Projection", "Renaming", "Join", "CartesianProduct",
+             "UnionOp", "DifferenceOp", "Semijoin"]
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Read a stored relation under the given column names."""
+
+    name: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An inline constant relation."""
+
+    relation: Relation
+
+
+@dataclass(frozen=True)
+class Selection:
+    """σ: equality selection on named columns."""
+
+    child: Expr
+    equalities: tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class EqualColumns:
+    """σ with a column-to-column equality (for repeated variables)."""
+
+    child: Expr
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class Extend:
+    """Duplicate a column under a new name (for repeated head vars)."""
+
+    child: Expr
+    source: str
+    new: str
+
+
+@dataclass(frozen=True)
+class Projection:
+    """π: keep the named columns."""
+
+    child: Expr
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Renaming:
+    """ρ: rename columns."""
+
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """⋈: natural join."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class CartesianProduct:
+    """×: product of schema-disjoint operands."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    """∪ of union-compatible operands."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class DifferenceOp:
+    """− of union-compatible operands."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Semijoin:
+    """⋉: filter left by joinability with right."""
+
+    left: Expr
+    right: Expr
+
+
+def evaluate(expr: Expr, database: Database) -> Relation:
+    """Evaluate *expr* against *database*.
+
+    >>> db = Database.from_dict({"A": [("a", "b"), ("b", "c")]})
+    >>> result = evaluate(Selection(Scan("A", ("x", "y")),
+    ...                             (("x", "a"),)), db)
+    >>> sorted(result.rows)
+    [('a', 'b')]
+    """
+    if isinstance(expr, Scan):
+        stored = database.rows(expr.name)
+        arity = database.arity(expr.name)
+        if arity is not None and arity != len(expr.columns):
+            raise SchemaError(
+                f"scan of {expr.name!r} with {len(expr.columns)} columns "
+                f"but stored arity is {arity}")
+        return Relation(expr.columns, stored)
+    if isinstance(expr, Literal):
+        return expr.relation
+    if isinstance(expr, Selection):
+        return evaluate(expr.child, database).select(
+            **dict(expr.equalities))
+    if isinstance(expr, EqualColumns):
+        child = evaluate(expr.child, database)
+        left = child.column_index(expr.left)
+        right = child.column_index(expr.right)
+        return child.where(lambda row: row[left] == row[right])
+    if isinstance(expr, Extend):
+        child = evaluate(expr.child, database)
+        source = child.column_index(expr.source)
+        return Relation(child.columns + (expr.new,),
+                        (row + (row[source],) for row in child.rows))
+    if isinstance(expr, Projection):
+        return evaluate(expr.child, database).project(expr.columns)
+    if isinstance(expr, Renaming):
+        return evaluate(expr.child, database).rename(dict(expr.mapping))
+    if isinstance(expr, Join):
+        return evaluate(expr.left, database).join(
+            evaluate(expr.right, database))
+    if isinstance(expr, CartesianProduct):
+        return evaluate(expr.left, database).product(
+            evaluate(expr.right, database))
+    if isinstance(expr, UnionOp):
+        return evaluate(expr.left, database).union(
+            evaluate(expr.right, database))
+    if isinstance(expr, DifferenceOp):
+        return evaluate(expr.left, database).difference(
+            evaluate(expr.right, database))
+    if isinstance(expr, Semijoin):
+        return evaluate(expr.left, database).semijoin(
+            evaluate(expr.right, database))
+    raise TypeError(f"not a relational-algebra expression: {expr!r}")
+
+
+def scan(name: str, *columns: str) -> Scan:
+    """Shorthand scan constructor."""
+    return Scan(name, columns)
+
+
+def select(child: Expr, **equalities: object) -> Selection:
+    """Shorthand selection constructor."""
+    return Selection(child, tuple(equalities.items()))

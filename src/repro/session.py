@@ -1,0 +1,257 @@
+"""A user-facing deductive-database session.
+
+:class:`DeductiveDatabase` ties the whole library together the way an
+application would use it: load a program (rules and facts), ask
+queries, and let the classification decide how each recursive
+predicate is evaluated.
+
+Programs may define *several* IDB predicates — non-recursive views and
+linear recursion systems — as long as distinct predicates are not
+mutually recursive (the paper's single-recursion setting).  Predicates
+are materialised bottom-up in dependency order; the *queried*
+predicate is evaluated with the compiled engine so query constants are
+pushed into the recursion whenever its class allows.
+
+>>> ddb = DeductiveDatabase()
+>>> ddb.load('''
+...     anc(x, y) :- parent(x, z), anc(z, y).
+...     anc(x, y) :- parent(x, y).
+...     parent(ann, bea).
+...     parent(bea, cal).
+... ''')
+>>> sorted(ddb.query("anc(ann, Y)"))
+[('ann', 'bea'), ('ann', 'cal')]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .core.classifier import Classification, classify
+from .core.compile import CompiledFormula, compile_query
+from .datalog.atoms import Atom
+from .datalog.errors import EvaluationError, RuleValidationError
+from .datalog.parser import parse_program, parse_rule
+from .datalog.program import Program, RecursionSystem
+from .datalog.rules import RecursiveRule, Rule
+from .datalog.terms import Constant
+from .engine.compiled import CompiledEngine
+from .engine.conjunctive import solve_project
+from .engine.naive import NaiveEngine
+from .engine.topdown import TopDownEngine
+from .engine.query import Query
+from .engine.seminaive import SemiNaiveEngine
+from .engine.stats import EvaluationStats
+from .ra.database import Database
+
+
+class DeductiveDatabase:
+    """A mutable session over rules and facts with compiled queries."""
+
+    def __init__(self, indexed: bool = True) -> None:
+        self._rules: list[Rule] = []
+        self._edb = Database(indexed=indexed)
+        self._materialised: Database | None = None
+        self._plan_cache: dict[tuple[str, frozenset[int]],
+                               CompiledFormula] = {}
+        self._classification_cache: dict[str, Classification] = {}
+
+    # -- loading -------------------------------------------------------
+
+    def load(self, text: str) -> None:
+        """Parse and add a program fragment (rules and/or facts)."""
+        program = parse_program(text)
+        for rule in program.rules:
+            self.add_rule(rule)
+        for fact in program.facts:
+            self._add_fact_atom(fact)
+
+    def add_rule(self, rule: Rule | str) -> None:
+        """Add one rule (text or object); invalidates materialisation."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        self._rules.append(rule)
+        self._invalidate(rules_changed=True)
+
+    def add_fact(self, predicate: str, *values: object) -> None:
+        """Add one ground fact."""
+        self._edb.add(predicate, tuple(values))
+        self._invalidate(rules_changed=False)
+
+    def add_facts(self, predicate: str,
+                  rows: Iterable[tuple]) -> None:
+        """Add many ground facts for one predicate."""
+        self._edb.bulk(predicate, rows)
+        self._invalidate(rules_changed=False)
+
+    def _add_fact_atom(self, fact: Atom) -> None:
+        self._edb.add(fact.predicate,
+                      tuple(t.value for t in fact.args
+                            if isinstance(t, Constant)))
+        self._invalidate(rules_changed=False)
+
+    def _invalidate(self, rules_changed: bool) -> None:
+        self._materialised = None
+        if rules_changed:
+            self._plan_cache.clear()
+            self._classification_cache.clear()
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        """The current rule set as a :class:`Program` (facts excluded —
+        they live in the fact store)."""
+        return Program(tuple(self._rules))
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by rules."""
+        return self.program.idb_predicates
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        """The rules defining *predicate*."""
+        return self.program.rules_for(predicate)
+
+    def system_for(self, predicate: str) -> RecursionSystem | None:
+        """The recursion system of *predicate*, or None for a
+        non-recursive view."""
+        rules = self.rules_for(predicate)
+        recursive = [r for r in rules if r.is_recursive()]
+        if not recursive:
+            return None
+        if len(recursive) > 1:
+            raise RuleValidationError(
+                f"{predicate!r} has {len(recursive)} recursive rules; "
+                f"the paper's setting is single recursion")
+        exits = tuple(r for r in rules if not r.is_recursive())
+        if not exits:
+            raise RuleValidationError(
+                f"recursive predicate {predicate!r} has no exit rule")
+        return RecursionSystem(RecursiveRule(recursive[0]), exits)
+
+    def classification(self, predicate: str) -> Classification:
+        """Classification of a recursive predicate (cached)."""
+        cached = self._classification_cache.get(predicate)
+        if cached is None:
+            system = self.system_for(predicate)
+            if system is None:
+                raise EvaluationError(
+                    f"{predicate!r} is not a recursive predicate")
+            cached = classify(system)
+            self._classification_cache[predicate] = cached
+        return cached
+
+    # -- materialisation ----------------------------------------------
+
+    def _materialise_below(self, target: str) -> Database:
+        """All IDB predicates strictly below *target*, bottom-up."""
+        program = self.program
+        order = program.evaluation_order()
+        if target in order:
+            order = order[:order.index(target)]
+        db = self._edb.copy()
+        for predicate in order:
+            self._materialise_one(predicate, db)
+        return db
+
+    def _materialise_one(self, predicate: str, db: Database) -> None:
+        system = self.system_for(predicate)
+        if system is None:
+            arity = self.rules_for(predicate)[0].head.arity
+            db.declare(predicate, arity)
+            for rule in self.rules_for(predicate):
+                db.bulk(predicate,
+                        solve_project(db, rule.body, rule.head.args))
+        else:
+            db.bulk(predicate, SemiNaiveEngine().evaluate(system, db))
+
+    def materialise(self) -> Database:
+        """Fully materialise every IDB predicate (cached until the
+        session changes)."""
+        if self._materialised is None:
+            db = self._edb.copy()
+            for predicate in self.program.evaluation_order():
+                self._materialise_one(predicate, db)
+            self._materialised = db
+        return self._materialised
+
+    # -- querying --------------------------------------------------------
+
+    ENGINES = {"compiled": CompiledEngine, "semi-naive": SemiNaiveEngine,
+               "naive": NaiveEngine, "top-down": TopDownEngine}
+
+    def query(self, query: Query | str,
+              stats: EvaluationStats | None = None,
+              engine: str = "compiled") -> frozenset[tuple]:
+        """Answer a query, choosing the evaluation by classification.
+
+        EDB predicates are looked up directly; non-recursive views are
+        materialised; recursive predicates go through the chosen
+        *engine* (default: the compiled engine, with a cached plan so
+        the constants are pushed into the recursion).
+        """
+        if isinstance(query, str):
+            query = Query.parse(query)
+        predicate = query.predicate
+
+        if predicate not in self.idb_predicates:
+            answers = query.filter(self._edb.rows(predicate))
+            if stats is not None:
+                stats.answers = len(answers)
+            return answers
+
+        system = self.system_for(predicate)
+        if system is None:
+            return query.filter(self.materialise().rows(predicate))
+
+        base = self._materialise_below(predicate)
+        if engine != "compiled":
+            return self.ENGINES[engine]().evaluate(system, base, query,
+                                                   stats)
+        key = (predicate, query.adornment)
+        compiled = self._plan_cache.get(key)
+        if compiled is None:
+            compiled = compile_query(system, query.adornment,
+                                     self.classification(predicate))
+            self._plan_cache[key] = compiled
+        return CompiledEngine().evaluate(system, base, query, stats,
+                                         compiled=compiled)
+
+    def prove(self, query: Query | str,
+              limit: int | None = None) -> list:
+        """Derivation trees for the answers of a recursive query.
+
+        Returns :class:`~repro.engine.provenance.Derivation` objects,
+        sorted by answer, at most *limit* of them.
+        """
+        from .engine.provenance import _tuple_depths, explain_answer
+        if isinstance(query, str):
+            query = Query.parse(query)
+        system = self.system_for(query.predicate)
+        if system is None:
+            raise EvaluationError(
+                f"{query.predicate!r} is not a recursive predicate")
+        base = self._materialise_below(query.predicate)
+        answers = sorted(self.query(query), key=repr)
+        if limit is not None:
+            answers = answers[:limit]
+        depths = _tuple_depths(system, base)
+        return [explain_answer(system, base, answer, depths)
+                for answer in answers]
+
+    def explain(self, query: Query | str) -> str:
+        """The compiled formula and strategy for a query, as text."""
+        if isinstance(query, str):
+            query = Query.parse(query)
+        system = self.system_for(query.predicate)
+        if system is None:
+            return (f"{query.predicate} is not recursive; evaluated by "
+                    f"materialisation")
+        compiled = compile_query(system, query.adornment,
+                                 self.classification(query.predicate))
+        return compiled.describe()
+
+    def __repr__(self) -> str:
+        return (f"DeductiveDatabase({len(self._rules)} rules, "
+                f"{self._edb.total_facts()} facts)")

@@ -1,0 +1,80 @@
+"""EDB builders matched to a recursion system's predicate signature.
+
+Property tests and benches need a database for an *arbitrary* formula:
+:func:`random_edb` inspects the system's EDB predicates and their
+arities and fills each with random tuples over a shared node universe,
+so that joins actually connect.  :func:`chain_edb` builds the
+worst-case-depth chain workload for binary-relation recursions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datalog.program import RecursionSystem
+from ..datalog.rules import Rule
+from ..ra.database import Database
+from .generators import chain, reflexive_exit
+
+
+def _predicate_arities(system: RecursionSystem) -> dict[str, int]:
+    arities: dict[str, int] = {}
+    rules: list[Rule] = [system.recursive.rule, *system.exits]
+    for rule in rules:
+        for body_atom in rule.body:
+            if body_atom.predicate == system.predicate:
+                continue
+            arities[body_atom.predicate] = body_atom.arity
+    return arities
+
+
+def random_edb(system: RecursionSystem, nodes: int = 8,
+               tuples_per_relation: int = 12, seed: int = 0) -> Database:
+    """A random database covering every EDB predicate of *system*.
+
+    All relations draw from one universe of *nodes* named constants so
+    chains and joins connect with useful probability.
+
+    >>> from ..datalog.parser import parse_system
+    >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
+    >>> db = random_edb(s, nodes=4, tuples_per_relation=5, seed=1)
+    >>> sorted(db.relation_names)
+    ['A', 'P__exit']
+    """
+    rng = random.Random(seed)
+    names = [f"c{i}" for i in range(nodes)]
+    db = Database()
+    for predicate, arity in sorted(_predicate_arities(system).items()):
+        rows = {tuple(rng.choice(names) for _ in range(arity))
+                for _ in range(tuples_per_relation)}
+        db.bulk(predicate, rows)
+    return db
+
+
+def chain_edb(system: RecursionSystem, length: int,
+              reflexive_exits: bool = True, seed: int = 0) -> Database:
+    """A chain workload: every binary EDB predicate gets the same chain.
+
+    Binary predicates share the chain edges (so cycles compose into
+    long paths); unary predicates get every node; higher-arity
+    predicates and non-identity exits get random tuples over the chain
+    nodes.  With *reflexive_exits*, synthesised generic exits get the
+    identity relation — the transitive-closure convention.
+    """
+    rng = random.Random(seed)
+    edges = chain(length)
+    names = [f"n{i}" for i in range(length + 1)]
+    db = Database()
+    exit_name = system.predicate + RecursionSystem.EXIT_SUFFIX
+    for predicate, arity in sorted(_predicate_arities(system).items()):
+        if predicate == exit_name and reflexive_exits:
+            db.bulk(predicate, reflexive_exit(length, system.dimension))
+        elif arity == 2:
+            db.bulk(predicate, edges)
+        elif arity == 1:
+            db.bulk(predicate, [(n,) for n in names])
+        else:
+            db.bulk(predicate,
+                    {tuple(rng.choice(names) for _ in range(arity))
+                     for _ in range(3 * length)})
+    return db

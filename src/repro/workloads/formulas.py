@@ -1,0 +1,288 @@
+"""The catalogue of the paper's example formulas (and a few more).
+
+Every worked example of the paper, by its statement number, plus the
+implicit examples used inside proofs and remarks, plus a handful of
+classic deductive-database recursions for the example programs.  Each
+entry records the paper's claims so the benches can print
+paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datalog.parser import parse_system
+from ..datalog.program import RecursionSystem
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One formula with the paper's claims about it."""
+
+    name: str
+    source: str                       #: where in the paper it appears
+    text: str                         #: the rule, in parser syntax
+    paper_class: str                  #: the paper's (implied) class label
+    paper_components: str             #: component classes, "+"-joined
+    paper_stable: bool
+    paper_transformable: bool
+    paper_unfold: int | None          #: Thm 2/4 unfold count, when given
+    paper_bounded: str                #: bounded / unbounded / unknown
+    paper_rank_bound: int | None      #: when the paper names one
+    notes: str = ""
+    query_forms: tuple[str, ...] = ()
+
+    def system(self) -> RecursionSystem:
+        """Parse the rule into a fresh recursion system."""
+        return parse_system(self.text)
+
+
+CATALOGUE: dict[str, CatalogueEntry] = {}
+
+
+def _entry(**kwargs: object) -> None:
+    entry = CatalogueEntry(**kwargs)  # type: ignore[arg-type]
+    CATALOGUE[entry.name] = entry
+
+
+_entry(name="s1a", source="Example 1 / Figure 1(a)",
+       text="P(x, y) :- A(x, z), P(z, y).",
+       paper_class="A5", paper_components="A1+A2",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="transitive closure; unit rotational + unit permutational",
+       query_forms=("dv", "vd", "vv", "dd"))
+
+_entry(name="s1b", source="Example 1 / Figure 1(b)",
+       text="P(x, y, z) :- A(x, y), P(u, z, v), B(u, v).",
+       paper_class="C", paper_components="C",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="multi-directional cycle of weight -1",
+       query_forms=("dvv",))
+
+_entry(name="s2a", source="Example 2 / Figure 2",
+       text="P(x, y) :- A(x, z), P(z, u), B(u, y).",
+       paper_class="A1", paper_components="A1+A1",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="the resolution-graph running example",
+       query_forms=("dv", "vd", "dd"))
+
+_entry(name="s3", source="Example 3",
+       text="P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).",
+       paper_class="A1", paper_components="A1+A1+A1",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="three disjoint unit rotational cycles; P(a,b,Z) plan",
+       query_forms=("ddv", "vdd", "dvd"))
+
+_entry(name="s4", source="Example 4 / (s4a)",
+       text="P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+            "P(y1, y2, y3).",
+       paper_class="A3", paper_components="A3",
+       paper_stable=False, paper_transformable=True, paper_unfold=3,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="one-directional rotational cycle of weight 3",
+       query_forms=("ddv",))
+
+_entry(name="s5", source="Example 5 / (s5)",
+       text="P(x, y, z) :- P(y, z, x).",
+       paper_class="A4", paper_components="A4",
+       paper_stable=False, paper_transformable=True, paper_unfold=3,
+       paper_bounded="bounded", paper_rank_bound=2,
+       notes="permutational cycle of weight 3; bounded (Thm 10: LCM-1)",
+       query_forms=("dvv",))
+
+_entry(name="s6", source="Example 6 / (s6)",
+       text="P(x, y, z, u, v, w) :- P(z, y, u, x, w, v).",
+       paper_class="A5", paper_components="A4+A4+A2",
+       paper_stable=False, paper_transformable=True, paper_unfold=6,
+       paper_bounded="bounded", paper_rank_bound=5,
+       notes="permutational cycles of weights 3, 1, 2; stable after 6",
+       query_forms=("dvvvvv",))
+
+_entry(name="s7", source="Example 7 / (s7)",
+       text="P(x, y, z, u, w, s, v) :- A(x, t), "
+            "P(t, z, y, w, s, r, v), B(u, r).",
+       paper_class="A5", paper_components="A3+A1+A2+A4",
+       paper_stable=False, paper_transformable=True, paper_unfold=6,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="4 one-directional cycles of weights 1, 2, 3, 1; LCM 6. "
+             "(components listed in graph order: weight-1 rotational, "
+             "weight-2 permutational, weight-3 rotational, weight-1 "
+             "permutational)",
+       query_forms=("dvvvvvv",))
+
+_entry(name="s8", source="Example 8 / Figure 3",
+       text="P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), "
+            "P(z, y1, z1, u1).",
+       paper_class="B", paper_components="B",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="bounded", paper_rank_bound=2,
+       notes="bounded cycle (weight 0); Ioannidis bound 2; "
+             "pseudo recursion (s8a'), (s8b')",
+       query_forms=("dvvv", "vvvv"))
+
+_entry(name="s9", source="Example 9 / Figure 4",
+       text="P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).",
+       paper_class="C", paper_components="C",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="unbounded cycle; plans for P(d,v,v) and P(v,v,d)",
+       query_forms=("dvv", "vvd"))
+
+_entry(name="s10", source="Example 10 / (s10)",
+       text="P(x, y) :- B(y), C(x, y1), P(x1, y1).",
+       paper_class="D", paper_components="D",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="bounded", paper_rank_bound=2,
+       notes="no non-trivial cycle; upper bound 2 [Ioan 85]",
+       query_forms=("vv",))
+
+_entry(name="s11", source="Example 11 / Figure 5",
+       text="P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).",
+       paper_class="E", paper_components="E",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="dependent cycles; P(d,v) plan with {A,B} branches",
+       query_forms=("dv",))
+
+_entry(name="s12", source="Example 14 / (s12) / Figure 6",
+       text="P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), "
+            "P(u, v, w).",
+       paper_class="F", paper_components="E+A1",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="mixed; the paper's prose says '(D) and (A1)' where (D) "
+             "names the dependent component (cf. DESIGN.md §2); "
+             "query-dependently stable: dvv -> ddv -> ddv",
+       query_forms=("dvv", "vvd"))
+
+_entry(name="compressed", source="Section 3 Remark",
+       text="P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).",
+       paper_class="A5", paper_components="A1+A2",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="ABC compresses to one undirected edge; two unit cycles",
+       query_forms=("dv",))
+
+_entry(name="thm1", source="Theorem 1 proof",
+       text="P(x, y) :- A(x, z), P(y, z).",
+       paper_class="A3", paper_components="A3",
+       paper_stable=False, paper_transformable=True, paper_unfold=2,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="the 'uniform cycle of length two' counterexample",
+       query_forms=("dv", "vd"))
+
+#: Names of the paper's numbered statements, in paper order.
+PAPER_ORDER = ("s1a", "s1b", "s2a", "s3", "s4", "s5", "s6", "s7", "s8",
+               "s9", "s10", "s11", "s12")
+
+#: Extra recursions for the example programs (not from the paper).
+EXTRAS: dict[str, str] = {
+    # ancestor: classic genealogy recursion (class A1+A2, stable)
+    "ancestor": "anc(x, y) :- parent(x, z), anc(z, y).",
+    # same generation, right-linear form (one-directional, weight 2)
+    "same_generation": "sg(x, y) :- up(x, u), sg(u, v), down(v, y).",
+}
+
+
+def paper_systems() -> dict[str, RecursionSystem]:
+    """Fresh recursion systems for every paper example, in order."""
+    return {name: CATALOGUE[name].system() for name in PAPER_ORDER}
+
+
+def all_systems() -> dict[str, RecursionSystem]:
+    """Fresh recursion systems for the entire catalogue."""
+    return {name: entry.system() for name, entry in CATALOGUE.items()}
+
+
+#: Corner-case formulas beyond the paper's examples, with expected
+#: classifier verdicts — a regression corpus exercising every branch
+#: the paper-sourced catalogue does not reach.
+EXTRA_CATALOGUE: dict[str, CatalogueEntry] = {}
+
+
+def _extra(**kwargs: object) -> None:
+    entry = CatalogueEntry(**kwargs)  # type: ignore[arg-type]
+    EXTRA_CATALOGUE[entry.name] = entry
+
+
+_extra(name="decorated_stable", source="corner case",
+       text="P(x, y) :- A(x, u), B(y, w), C(u, m), P(u, y).",
+       paper_class="A5", paper_components="A1+A2",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="decorations (B on the self-loop, C on the cycle) must "
+             "not break stability",
+       query_forms=("dv", "vd"))
+
+_extra(name="compressed_chain", source="corner case",
+       text="P(x, y) :- A(x, m), B(m, n), C(n, z), P(z, y).",
+       paper_class="A5", paper_components="A1+A2",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="a three-relation undirected path compresses to one "
+             "ABC edge",
+       query_forms=("dv",))
+
+_extra(name="dependent_bounded", source="corner case",
+       text="P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), D(u, z), "
+            "P(z, y1, z1, u1).",
+       paper_class="E", paper_components="E",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="bounded", paper_rank_bound=2,
+       notes="(s8) plus a same-potential chord: dependent, yet "
+             "Ioannidis still applies (no permutational pattern)",
+       query_forms=("dvvv",))
+
+_extra(name="unknown_boundedness", source="corner case",
+       text="P(x, y) :- A(x, y), P(y, x).",
+       paper_class="E", paper_components="E",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="unknown", paper_rank_bound=None,
+       notes="a permutational 2-cycle with a chord: the corner the "
+             "paper leaves open",
+       query_forms=("dv",))
+
+_extra(name="pure_a2", source="corner case",
+       text="P(x, y) :- P(x, y).",
+       paper_class="A2", paper_components="A2+A2",
+       paper_stable=True, paper_transformable=True, paper_unfold=1,
+       paper_bounded="bounded", paper_rank_bound=0,
+       notes="the degenerate identity recursion: two self-loops, "
+             "rank 0",
+       query_forms=("dv",))
+
+_extra(name="lcm_mix", source="corner case",
+       text="P(a, b, c, d, e) :- R(a, t), P(t, c, b, e, d).",
+       paper_class="A5", paper_components="A1+A4+A4",
+       paper_stable=False, paper_transformable=True, paper_unfold=2,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="weight-1 rotational with two weight-2 swaps: LCM 2",
+       query_forms=("dvvvv",))
+
+_extra(name="double_d", source="corner case",
+       text="P(x, y) :- C(x, m), D(y, n), P(x1, y1).",
+       paper_class="D", paper_components="D+D",
+       paper_stable=False, paper_transformable=False, paper_unfold=None,
+       paper_bounded="bounded", paper_rank_bound=1,
+       notes="two disjoint acyclic components (fresh recursive "
+             "arguments, decorated heads)",
+       query_forms=("dv", "vv"))
+
+_extra(name="long_rotational", source="corner case",
+       text="P(x1, x2, x3, x4) :- A(x1, y4), B(x2, y1), C(x3, y2), "
+            "D(x4, y3), P(y1, y2, y3, y4).",
+       paper_class="A3", paper_components="A3",
+       paper_stable=False, paper_transformable=True, paper_unfold=4,
+       paper_bounded="unbounded", paper_rank_bound=None,
+       notes="a weight-4 one-directional rotational cycle",
+       query_forms=("dvvv",))
+
+
+def extra_systems() -> dict[str, RecursionSystem]:
+    """Fresh recursion systems for the corner-case corpus."""
+    return {name: entry.system()
+            for name, entry in EXTRA_CATALOGUE.items()}

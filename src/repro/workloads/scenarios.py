@@ -1,0 +1,112 @@
+"""Realistic scenario generators for examples, tests, and benches.
+
+Deterministic, parameterised builders for the workload families the
+deductive-database literature of the paper's era actually used:
+genealogies (ancestor / same-generation), corporate hierarchies, and
+part-subpart assemblies.  Each returns a plain ``{relation: rows}``
+dict ready for :meth:`Database.from_dict`.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def genealogy(generations: int, families: int = 2,
+              children_per_couple: int = 2, seed: int = 0
+              ) -> dict[str, list[tuple]]:
+    """A multi-generation population with ``parent`` and ``female``.
+
+    Each generation-g person ``g<g>_p<i>`` has
+    ``children_per_couple`` children in generation g+1; roughly half
+    of the population is marked female (deterministically by index).
+
+    >>> rows = genealogy(2, families=1, children_per_couple=2)
+    >>> len(rows["parent"])   # 2 children of the root + their 4
+    6
+    """
+    rng = random.Random(seed)
+    parent: list[tuple] = []
+    female: list[tuple] = []
+    current = [f"g0_p{i}" for i in range(families)]
+    for person_index, person in enumerate(current):
+        if person_index % 2 == 0:
+            female.append((person,))
+    counter = 0
+    for generation in range(1, generations + 1):
+        next_generation: list[str] = []
+        for person in current:
+            for _ in range(children_per_couple):
+                child = f"g{generation}_p{counter}"
+                counter += 1
+                parent.append((person, child))
+                next_generation.append(child)
+                if rng.random() < 0.5:
+                    female.append((child,))
+        current = next_generation
+    return {"parent": parent, "female": female}
+
+
+def genealogy_updown(generations: int, families: int = 2,
+                     children_per_couple: int = 2, seed: int = 0
+                     ) -> dict[str, list[tuple]]:
+    """The same population shaped for same-generation queries:
+    ``up`` (child→parent), ``down`` (parent→child), and the ``flat``
+    exit relation over the oldest generation."""
+    base = genealogy(generations, families, children_per_couple, seed)
+    up = [(child, parent) for parent, child in base["parent"]]
+    roots = sorted({p for p, _ in base["parent"]}
+                   - {c for _, c in base["parent"]})
+    return {"up": up,
+            "down": base["parent"],
+            "flat": [(r, r) for r in roots]}
+
+
+def org_hierarchy(levels: int, span: int = 3, seed: int = 0
+                  ) -> dict[str, list[tuple]]:
+    """A management tree: ``manages(boss, report)`` with *span*
+    reports per manager and a ``grade`` relation by level."""
+    manages: list[tuple] = []
+    grade: list[tuple] = []
+    current = ["ceo"]
+    grade.append(("ceo", "L0"))
+    counter = 0
+    for level in range(1, levels + 1):
+        next_level: list[str] = []
+        for boss in current:
+            for _ in range(span):
+                person = f"e{counter}"
+                counter += 1
+                manages.append((boss, person))
+                grade.append((person, f"L{level}"))
+                next_level.append(person)
+        current = next_level
+    return {"manages": manages, "grade": grade}
+
+
+def assembly(depth: int, fanout: int = 2, shared_parts: int = 2,
+             seed: int = 0) -> dict[str, list[tuple]]:
+    """A bill of materials: a subpart tree plus a few *shared*
+    standard parts (bolts, washers) used by many assemblies — making
+    the subpart graph a DAG, not a tree."""
+    rng = random.Random(seed)
+    subpart: list[tuple] = []
+    current = ["product"]
+    counter = 0
+    all_assemblies = list(current)
+    for _ in range(depth):
+        next_level: list[str] = []
+        for part in current:
+            for _ in range(fanout):
+                child = f"part{counter}"
+                counter += 1
+                subpart.append((part, child))
+                next_level.append(child)
+        current = next_level
+        all_assemblies.extend(next_level)
+    shared = [f"std{i}" for i in range(shared_parts)]
+    for standard in shared:
+        for assembly_part in rng.sample(
+                all_assemblies, min(3, len(all_assemblies))):
+            subpart.append((assembly_part, standard))
+    return {"subpart": sorted(set(subpart))}

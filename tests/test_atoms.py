@@ -1,0 +1,68 @@
+"""Unit tests for repro.datalog.atoms."""
+
+from repro.datalog.atoms import Atom, atom, fact
+from repro.datalog.terms import Constant, Variable
+
+
+class TestAtom:
+    def test_arity_and_str(self):
+        a = atom("A", "x", "z")
+        assert a.arity == 2
+        assert str(a) == "A(x, z)"
+
+    def test_zero_arity_atom(self):
+        a = Atom("Q", ())
+        assert a.arity == 0
+        assert a.is_ground
+
+    def test_variables_in_positional_order(self):
+        a = atom("R", "x", "y", "x")
+        assert [v.name for v in a.variables] == ["x", "y", "x"]
+
+    def test_variable_set_deduplicates(self):
+        assert atom("R", "x", "y", "x").variable_set() == {
+            Variable("x"), Variable("y")}
+
+    def test_is_ground(self):
+        assert fact("A", "a", "b").is_ground
+        assert not atom("A", "x", "b").is_ground
+
+    def test_has_repeated_variables(self):
+        assert atom("R", "x", "x").has_repeated_variables()
+        assert not atom("R", "x", "y").has_repeated_variables()
+        # repeated constants are not repeated variables
+        assert not fact("R", "a", "a").has_repeated_variables()
+
+    def test_positions_of(self):
+        a = atom("R", "x", "y", "x")
+        assert a.positions_of(Variable("x")) == (0, 2)
+        assert a.positions_of(Variable("z")) == ()
+
+    def test_with_args_replaces_arguments(self):
+        a = atom("R", "x", "y")
+        b = a.with_args((Constant("a"), Variable("y")))
+        assert b.predicate == "R"
+        assert b.args == (Constant("a"), Variable("y"))
+
+    def test_atoms_are_hashable_values(self):
+        assert atom("A", "x") == atom("A", "x")
+        assert len({atom("A", "x"), atom("A", "x")}) == 1
+
+    def test_iteration_yields_terms(self):
+        assert list(atom("A", "x", "y")) == [Variable("x"), Variable("y")]
+
+
+class TestConstructors:
+    def test_atom_mixes_variables_and_constants(self):
+        a = atom("A", "x", 5)
+        assert isinstance(a.args[0], Variable)
+        assert isinstance(a.args[1], Constant)
+
+    def test_atom_accepts_prebuilt_terms(self):
+        a = atom("A", Variable("x"), Constant("k"))
+        assert a.args == (Variable("x"), Constant("k"))
+
+    def test_fact_makes_everything_constant(self):
+        f = fact("A", "a", 1)
+        assert f.is_ground
+        assert f.constants == (Constant("a"), Constant(1))

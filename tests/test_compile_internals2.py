@@ -1,0 +1,113 @@
+"""Direct unit tests for the compiler's body-structuring helpers."""
+
+import pytest
+
+from repro.core.compile import (_assemble_groups, _collapse_stages,
+                                _stage_order, _structure_body)
+from repro.core.plans import render
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Variable
+
+V = Variable
+
+
+def atoms(*texts: str):
+    return tuple(parse_atom(t) for t in texts)
+
+
+class TestStageOrder:
+    def test_selection_first(self):
+        body = list(atoms("B(y, z)", "A(x, y)"))
+        ordered, determined = _stage_order(body, {V("x")})
+        assert [a.predicate for a in ordered] == ["A", "B"]
+        assert determined == {V("x"), V("y"), V("z")}
+
+    def test_simultaneous_stage_keeps_input_order(self):
+        body = list(atoms("A(x, p)", "B(x, q)"))
+        ordered, _ = _stage_order(body, {V("x")})
+        assert [a.predicate for a in ordered] == ["A", "B"]
+
+    def test_unreachable_atoms_left_out(self):
+        body = list(atoms("A(x, y)", "C(m, n)"))
+        ordered, _ = _stage_order(body, {V("x")})
+        assert [a.predicate for a in ordered] == ["A"]
+
+    def test_empty_seed_orders_nothing(self):
+        ordered, determined = _stage_order(list(atoms("A(x, y)")), set())
+        assert ordered == []
+        assert determined == set()
+
+
+class TestStructureBody:
+    def test_groups_split_on_shared_free_variables(self):
+        body = atoms("A(x, y)", "B(u, v)")
+        groups = _structure_body(body, None, frozenset({V("x")}),
+                                 frozenset({V("y"), V("v")}))
+        assert len(groups) == 2
+
+    def test_query_constants_do_not_connect(self):
+        # both atoms touch the constant x but share nothing else
+        body = atoms("A(x, y)", "B(x, z)")
+        groups = _structure_body(body, None, frozenset({V("x")}),
+                                 frozenset({V("y"), V("z")}))
+        assert len(groups) == 2
+
+    def test_exit_joins_its_group(self):
+        body = atoms("B(u, v)")
+        exit_atom = parse_atom("P(u, z, v)")
+        groups = _structure_body(body, exit_atom, frozenset(),
+                                 frozenset({V("z")}))
+        assert len(groups) == 1
+        assert groups[0].has_exit
+        assert groups[0].produces_answer
+
+    def test_seeded_flag(self):
+        body = atoms("A(x, y)")
+        (group,) = _structure_body(body, None, frozenset({V("x")}),
+                                   frozenset({V("y")}))
+        assert group.seeded
+
+    def test_answer_flag_false_without_free_head_vars(self):
+        body = atoms("A(x, y)")
+        (group,) = _structure_body(body, None, frozenset({V("x")}),
+                                   frozenset())
+        assert not group.produces_answer
+
+
+class TestCollapseStages:
+    def test_independent_pair_becomes_branches(self):
+        rendered = render(_collapse_stages(atoms("A(a, b)", "B(c, d)")))
+        assert rendered == "{A, B}"
+
+    def test_dependent_pair_stays_chained(self):
+        rendered = render(_collapse_stages(atoms("A(a, b)", "B(b, c)")))
+        assert rendered == "A-B"
+
+    def test_mixed_run(self):
+        rendered = render(_collapse_stages(
+            atoms("A(a, b)", "B(c, d)", "C(b, d)")))
+        assert rendered == "{A, B}-C"
+
+
+class TestAssembleGroups:
+    def test_exists_prepended_for_non_answer_groups(self):
+        body = atoms("A(x, y)", "B(u, v)")
+        groups = _structure_body(body, None, frozenset({V("x")}),
+                                 frozenset({V("v")}))
+        rendered = render(_assemble_groups(groups))
+        assert "∃(" in rendered
+        assert "B" in rendered
+
+    def test_two_answer_groups_form_a_product(self):
+        body = atoms("A(x, y)", "B(u, v)")
+        groups = _structure_body(body, None, frozenset({V("x")}),
+                                 frozenset({V("y"), V("v")}))
+        rendered = render(_assemble_groups(groups))
+        assert " X " in rendered
+
+    def test_all_exists_when_nothing_produces(self):
+        body = atoms("A(x, y)",)
+        groups = _structure_body(body, None, frozenset({V("x")}),
+                                 frozenset())
+        rendered = render(_assemble_groups(groups))
+        assert rendered.startswith("∃(")

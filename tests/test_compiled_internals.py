@@ -1,0 +1,157 @@
+"""White-box tests of the compiled engine's strategy internals."""
+
+import pytest
+
+from repro.core.compile import Strategy, compile_query
+from repro.datalog.parser import parse_system
+from repro.engine import (CompiledEngine, EvaluationStats, Query,
+                          SemiNaiveEngine)
+from repro.ra import Database
+from repro.workloads import CATALOGUE, chain, cycle, reflexive_exit
+
+
+class TestStableStrategy:
+    def test_cyclic_chain_state_detection(self):
+        """The frontier on a 3-cycle revisits its state; the loop must
+        stop by state repetition, not by emptiness."""
+        system = CATALOGUE["s1a"].system()
+        db = Database.from_dict({
+            "A": cycle(3),
+            "P__exit": [("n0", "n0")],
+        })
+        stats = EvaluationStats()
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n0, Y)"),
+                                            stats)
+        assert answers == {("n0", "n0")}
+        # the frontier cycles with period 3; a couple of extra rounds
+        # at most before the state repeats
+        assert stats.rounds <= 5
+
+    def test_branching_chain_frontier(self):
+        system = CATALOGUE["s1a"].system()
+        db = Database.from_dict({
+            "A": [("r", "l1"), ("r", "l2"), ("l1", "x1"),
+                  ("l2", "x2")],
+            "P__exit": [("x1", "x1"), ("x2", "x2"), ("r", "r")],
+        })
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(r, Y)"))
+        assert answers == {("r", "r"), ("r", "x1"), ("r", "x2")}
+
+    def test_gate_blocks_deep_answers_only(self):
+        """An empty free atom kills depths ≥ 1, not depth 0."""
+        system = parse_system(
+            "P(x, y) :- A(x, z), D(a, b), P(z, y).")
+        db = Database.from_dict({
+            "A": chain(3),
+            "P__exit": reflexive_exit(3),
+        })
+        db.declare("D", 2)
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n0, Y)"))
+        assert answers == {("n0", "n0")}  # only the exit survives
+
+    def test_gate_open_allows_recursion(self):
+        system = parse_system(
+            "P(x, y) :- A(x, z), D(a, b), P(z, y).")
+        db = Database.from_dict({
+            "A": chain(3),
+            "D": [("k1", "k2")],
+            "P__exit": reflexive_exit(3),
+        })
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n0, Y)"))
+        assert len(answers) == 4
+
+    def test_decorated_self_loop_filters_each_step(self):
+        """B(y, w) on the self-loop position must hold at every depth
+        — a value without a B-successor survives only at depth 0."""
+        system = parse_system("P(x, y) :- A(x, z), B(y, w), P(z, y).")
+        db = Database.from_dict({
+            "A": chain(3),
+            "B": [("ok", "w1")],
+            "P__exit": [("n3", "ok"), ("n3", "bare")],
+        })
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n0, Y)"))
+        semi = SemiNaiveEngine().evaluate(system, db,
+                                          Query.parse("P(n0, Y)"))
+        assert answers == semi == {("n0", "ok")}
+
+
+class TestTransformStrategy:
+    def test_multiple_original_exits_multiply(self):
+        system = parse_system("""
+            P(x, y) :- A(x, z), P(y, z).
+            P(x, y) :- E(x, y).
+            P(x, x) :- V(x).
+        """)
+        compiled = compile_query(system, "dv")
+        assert compiled.strategy is Strategy.TRANSFORM
+        assert len(compiled.transformation.system.exits) == 4
+
+        db = Database.from_dict({
+            "A": chain(4),
+            "E": [("n4", "n4")],
+            "V": [("n2",)],
+        })
+        query = Query.parse("P(n0, Y)")
+        assert CompiledEngine().evaluate(system, db, query) == \
+            SemiNaiveEngine().evaluate(system, db, query)
+
+
+class TestIterativeStrategy:
+    def test_magic_bindings_recorded_per_adornment(self):
+        system = CATALOGUE["s12"].system()
+        from repro.workloads import random_edb
+        db = random_edb(system, nodes=6, tuples_per_relation=12, seed=1)
+        constant = sorted(db.active_domain())[0]
+        engine = CompiledEngine()
+        magic, unrestricted = engine._magic_bindings(
+            system, db, Query("P", (constant, None, None)),
+            EvaluationStats())
+        assert not unrestricted
+        assert frozenset({0}) in magic          # the query's form
+        # after one expansion positions 1,2... the steady adornment
+        assert frozenset({0, 1}) in magic
+
+    def test_dying_bindings_mean_unrestricted(self):
+        system = CATALOGUE["s9"].system()
+        db = Database.from_dict({
+            "A": chain(3), "B": chain(3),
+            "P__exit": [("n0", "n0", "n0")],
+        })
+        engine = CompiledEngine()
+        magic, unrestricted = engine._magic_bindings(
+            system, db, Query("P", ("n0", None, None)),
+            EvaluationStats())
+        assert unrestricted
+
+    def test_free_query_skips_magic(self):
+        system = CATALOGUE["s11"].system()
+        db = Database.from_dict({
+            "A": chain(2), "B": chain(2), "C": chain(2),
+            "P__exit": [("n0", "n0")],
+        })
+        engine = CompiledEngine()
+        magic, unrestricted = engine._magic_bindings(
+            system, db, Query.all_free("P", 2), EvaluationStats())
+        assert unrestricted and not magic
+
+
+class TestBoundedStrategy:
+    def test_repeated_head_variable_conflicting_query(self):
+        """Exit P(x, x) with query P(a, b) is a consistent-binding
+        check: conflicting constants yield nothing."""
+        system = parse_system("""
+            P(x, y) :- P(y, x).
+            P(x, x) :- V(x).
+        """)
+        db = Database.from_dict({"V": [("a",), ("b",)]})
+        hit = CompiledEngine().evaluate(system, db,
+                                        Query.parse("P(a, a)"))
+        miss = CompiledEngine().evaluate(system, db,
+                                         Query.parse("P(a, b)"))
+        assert hit == {("a", "a")}
+        assert miss == frozenset()

@@ -1,0 +1,68 @@
+"""Unit tests for connected components of the I-graph."""
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.graphs.components import (component_subgraph, components,
+                                     nontrivial_components,
+                                     trivial_components)
+from repro.graphs.igraph import build_igraph
+
+V = Variable
+
+
+def graph_of(text: str):
+    return build_igraph(parse_rule(text))
+
+
+class TestComponents:
+    def test_s3_has_three_components(self):
+        graph = graph_of(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).")
+        assert len(components(graph)) == 3
+
+    def test_s1a_splits_cycle_and_self_loop(self):
+        graph = graph_of("P(x, y) :- A(x, z), P(z, y).")
+        parts = {frozenset(v.name for v in c) for c in components(graph)}
+        assert parts == {frozenset({"x", "z"}), frozenset({"y"})}
+
+    def test_directed_edges_connect(self):
+        graph = graph_of("P(x, y) :- B(y), C(x, y1), P(x1, y1).")
+        # x →x1 and x—y1 and y→y1 all hang together
+        assert len(components(graph)) == 1
+
+    def test_component_partition_is_exhaustive_and_disjoint(self):
+        graph = graph_of(
+            "P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), "
+            "P(u, v, w).")
+        parts = components(graph)
+        union = set()
+        for part in parts:
+            assert not (union & part)
+            union |= part
+        assert union == set(graph.vertices)
+
+
+class TestSubgraphs:
+    def test_component_subgraph_keeps_internal_edges_only(self):
+        graph = graph_of(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).")
+        target = next(c for c in components(graph) if V("x") in c)
+        sub = component_subgraph(graph, target)
+        assert {e.label for e in sub.undirected} == {"A"}
+        assert len(sub.directed) == 1
+
+    def test_nontrivial_vs_trivial_split(self):
+        # D(a, b) over fresh variables is a trivial component
+        graph = graph_of("P(x, y) :- A(x, z), D(a, b), P(z, y).")
+        nontrivial = nontrivial_components(graph)
+        trivial = trivial_components(graph)
+        assert len(nontrivial) == 2   # the A-cycle and the y self-loop
+        assert len(trivial) == 1
+        assert {v.name for v in trivial[0].vertices} == {"a", "b"}
+
+    def test_all_components_of_recursive_rule_nontrivial_when_connected(
+            self):
+        graph = graph_of(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).")
+        assert len(nontrivial_components(graph)) == 1
+        assert not trivial_components(graph)

@@ -1,0 +1,88 @@
+"""Unit tests for undirected-cluster compression (section 3 Remark)."""
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.graphs.compress import reduce_graph
+from repro.graphs.igraph import build_igraph
+
+V = Variable
+
+
+def reduced_of(text: str):
+    return reduce_graph(build_igraph(parse_rule(text)))
+
+
+class TestPaperRemark:
+    """P(x,y) :- A(x,u) ∧ B(x,z) ∧ C(z,u) ∧ P(u,y) compresses the
+    triangle x—z—u to one edge labelled ABC."""
+
+    def test_triangle_compresses_to_single_edge(self):
+        reduced = reduced_of(
+            "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).")
+        assert len(reduced.compressed) == 1
+        edge = reduced.compressed[0]
+        assert edge.endpoints() == {V("x"), V("u")}
+        assert edge.label == "ABC"
+
+    def test_compressed_cluster_records_members(self):
+        reduced = reduced_of(
+            "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).")
+        assert reduced.compressed[0].cluster == {V("x"), V("z"), V("u")}
+
+
+class TestClusterKinds:
+    def test_two_anchor_cluster_with_internal_path(self):
+        # x —A— m —B— z : the intermediate m vanishes
+        reduced = reduced_of("P(x, y) :- A(x, m), B(m, z), P(z, y).")
+        assert len(reduced.compressed) == 1
+        assert reduced.compressed[0].endpoints() == {V("x"), V("z")}
+        assert reduced.compressed[0].label == "AB"
+
+    def test_hyper_cluster_from_s11(self):
+        reduced = reduced_of(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).")
+        assert len(reduced.hyper) == 1
+        assert reduced.hyper[0].anchors == {V("x"), V("x1"), V("y"),
+                                            V("y1")}
+        assert not reduced.compressed
+
+    def test_decoration_cluster_ignored_for_cycles(self):
+        # B(y, w): w dangles off the self-loop variable y
+        reduced = reduced_of("P(x, y) :- A(x, z), B(y, w), P(z, y).")
+        decorations = [d for d in reduced.decorations
+                       if d.anchor == V("y")]
+        assert len(decorations) == 1
+        assert decorations[0].cluster == {V("y"), V("w")}
+        assert len(reduced.compressed) == 1  # only the A edge
+
+    def test_anchor_free_cluster_is_decoration_with_no_anchor(self):
+        reduced = reduced_of("P(x, y) :- A(x, z), D(a, b), P(z, y).")
+        floating = [d for d in reduced.decorations if d.anchor is None]
+        assert len(floating) == 1
+        assert floating[0].label == "D"
+
+
+class TestReducedGraphStructure:
+    def test_degree_in_reduced_graph(self):
+        reduced = reduced_of("P(x, y) :- A(x, z), P(z, y).")
+        assert reduced.degree(V("x")) == 2   # directed + compressed
+        assert reduced.degree(V("y")) == 2   # self-loop counts twice
+
+    def test_component_partition_over_anchors(self):
+        reduced = reduced_of(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).")
+        parts = {frozenset(v.name for v in p)
+                 for p in reduced.component_partition()}
+        assert parts == {frozenset({"x", "u"}), frozenset({"y", "v"}),
+                         frozenset({"z", "w"})}
+
+    def test_hyper_connects_anchors_into_one_component(self):
+        reduced = reduced_of(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).")
+        assert len(reduced.component_partition()) == 1
+
+    def test_str_renders_all_edge_kinds(self):
+        text = str(reduced_of(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1)."))
+        assert "hyper[" in text
+        assert "→" in text

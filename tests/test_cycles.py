@@ -1,0 +1,137 @@
+"""Unit tests for cycle extraction and cycle attributes."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.graphs.compress import reduce_graph
+from repro.graphs.cycles import (Cycle, fundamental_cycles,
+                                 independent_cycle_of_component,
+                                 permutational_cycles)
+from repro.graphs.edges import DirectedEdge, TraversedEdge
+from repro.graphs.igraph import build_igraph
+
+V = Variable
+
+
+def cycles_of(text: str):
+    graph = build_igraph(parse_rule(text))
+    reduced = reduce_graph(graph)
+    out = []
+    for component in reduced.component_partition():
+        cycle = independent_cycle_of_component(reduced, component)
+        if cycle is not None:
+            out.append(cycle)
+    return out
+
+
+class TestCycleValidation:
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Cycle(())
+
+    def test_disconnected_steps_rejected(self):
+        e1 = DirectedEdge(V("a"), V("b"), 0)
+        e2 = DirectedEdge(V("c"), V("d"), 1)
+        with pytest.raises(ValueError, match="chain"):
+            Cycle((TraversedEdge(e1, True), TraversedEdge(e2, True)))
+
+
+class TestIndependentCycles:
+    def test_s3_yields_three_unit_rotational_cycles(self):
+        found = cycles_of(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).")
+        assert len(found) == 3
+        assert all(c.is_unit and c.is_rotational for c in found)
+
+    def test_self_loop_is_unit_permutational(self):
+        found = cycles_of("P(x, y) :- A(x, z), P(z, y).")
+        loops = [c for c in found if c.is_permutational]
+        assert len(loops) == 1
+        assert loops[0].weight == 1
+        assert loops[0].is_unit
+
+    def test_s4_weight_three_rotational(self):
+        found = cycles_of(
+            "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+            "P(y1, y2, y3).")
+        assert len(found) == 1
+        cycle = found[0]
+        assert cycle.weight == 3
+        assert cycle.is_one_directional and cycle.is_rotational
+        assert not cycle.is_unit
+
+    def test_s8_weight_zero_multidirectional(self):
+        found = cycles_of(
+            "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), "
+            "P(z, y1, z1, u1).")
+        assert len(found) == 1
+        assert found[0].is_multi_directional
+        assert found[0].weight == 0
+
+    def test_s9_weight_nonzero_multidirectional(self):
+        found = cycles_of("P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).")
+        assert len(found) == 1
+        assert found[0].is_multi_directional
+        assert abs(found[0].weight) == 1
+
+    def test_dependent_component_yields_none(self):
+        assert cycles_of(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).") == []
+
+    def test_acyclic_component_yields_none(self):
+        assert cycles_of("P(x, y) :- B(y), C(x, y1), P(x1, y1).") == []
+
+    def test_two_cycle_of_swapped_positions(self):
+        found = cycles_of("P(x, y) :- P(y, x).")
+        assert len(found) == 1
+        assert found[0].weight == 2
+        assert found[0].is_permutational
+
+    def test_canonical_weight_nonnegative(self):
+        for cycle in cycles_of(
+                "P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+                "P(y1, y2, y3)."):
+            assert cycle.canonical().weight >= 0
+
+
+class TestPermutationalCycles:
+    def test_s6_weights(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z, u, v, w) :- P(z, y, u, x, w, v)."))
+        weights = sorted(c.weight for c in permutational_cycles(graph))
+        assert weights == [1, 2, 3]
+
+    def test_rotational_formula_has_no_permutational_cycles(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y) :- A(x, z), B(y, u), P(z, u)."))
+        assert permutational_cycles(graph) == ()
+
+    def test_mixed_formula_detects_only_pure_directed_cycles(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z) :- A(x, t), P(t, z, y)."))
+        cycles = permutational_cycles(graph)
+        assert len(cycles) == 1
+        assert cycles[0].weight == 2  # y↔z swap
+
+
+class TestFundamentalCycles:
+    def test_basis_size_matches_cyclomatic_number(self):
+        # s11: 4 anchors, 3 undirected + 2 directed edges, 1 component:
+        # |E| - |V| + components = 5 - 4 + 1 = 2 basis cycles
+        graph = build_igraph(parse_rule(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1)."))
+        assert len(fundamental_cycles(graph)) == 2
+
+    def test_all_basis_cycles_close(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z) :- A(x, u), B(y, v), C(u, v), D(w, z), "
+            "P(u, v, w)."))
+        for cycle in fundamental_cycles(graph):
+            assert cycle.steps[0].source == cycle.steps[-1].target
+
+    def test_self_loops_included(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        loops = [c for c in fundamental_cycles(graph)
+                 if len(c.steps) == 1 and c.is_permutational]
+        assert len(loops) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the indexed fact store."""
+
+import pytest
+
+from repro.datalog.atoms import fact
+from repro.datalog.errors import EvaluationError
+from repro.datalog.parser import parse_program
+from repro.ra.database import Database
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict({
+        "A": [("a", "b"), ("b", "c"), ("a", "c")],
+        "N": [("a",), ("b",)],
+    })
+
+
+class TestConstruction:
+    def test_from_atoms(self):
+        db = Database.from_atoms([fact("A", "a", "b"), fact("A", "a", "b")])
+        assert db.count("A") == 1
+
+    def test_from_program(self):
+        program = parse_program("A(a, b).\nA(b, c).\nP(x) :- P(x).")
+        db = Database.from_program(program)
+        assert db.count("A") == 2
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.add("A", ("z", "z"))
+        assert db.count("A") == 3
+        assert clone.count("A") == 4
+
+
+class TestMutation:
+    def test_add_reports_novelty(self, db):
+        assert db.add("A", ("x", "y"))
+        assert not db.add("A", ("x", "y"))
+
+    def test_bulk_counts_new_rows(self, db):
+        assert db.bulk("A", [("a", "b"), ("q", "q")]) == 1
+
+    def test_arity_enforced(self, db):
+        with pytest.raises(EvaluationError, match="arity"):
+            db.add("A", ("only-one",))
+
+    def test_declare_registers_empty_relation(self):
+        db = Database()
+        db.declare("P", 2)
+        assert db.rows("P") == frozenset()
+        assert db.arity("P") == 2
+
+
+class TestAccess:
+    def test_rows_of_unknown_relation_is_empty(self, db):
+        assert db.rows("missing") == frozenset()
+
+    def test_match_full_wildcard(self, db):
+        assert set(db.match("A", (None, None))) == db.rows("A")
+
+    def test_match_uses_bound_positions(self, db):
+        assert set(db.match("A", ("a", None))) == {("a", "b"), ("a", "c")}
+        assert set(db.match("A", (None, "c"))) == {("b", "c"), ("a", "c")}
+        assert set(db.match("A", ("a", "c"))) == {("a", "c")}
+
+    def test_match_after_insert_sees_new_rows(self, db):
+        list(db.match("A", ("a", None)))  # force index build
+        db.add("A", ("a", "z"))
+        assert ("a", "z") in set(db.match("A", ("a", None)))
+
+    def test_has_match(self, db):
+        assert db.has_match("A", ("a", None))
+        assert not db.has_match("A", ("zz", None))
+
+    def test_contains_protocol(self, db):
+        assert ("A", ("a", "b")) in db
+        assert ("A", ("b", "a")) not in db
+
+    def test_relation_view(self, db):
+        view = db.relation("A", ("src", "dst"))
+        assert view.columns == ("src", "dst")
+        assert len(view) == 3
+
+    def test_active_domain(self, db):
+        assert db.active_domain() == {"a", "b", "c"}
+
+    def test_total_facts(self, db):
+        assert db.total_facts() == 5
+
+    def test_relation_names_sorted(self, db):
+        assert db.relation_names == ("A", "N")

@@ -1,0 +1,76 @@
+"""Unit tests for I-graph edge value objects and traversal."""
+
+import pytest
+
+from repro.datalog.terms import Variable
+from repro.graphs.edges import (DirectedEdge, TraversedEdge,
+                                UndirectedEdge, path_weight)
+
+V = Variable
+
+
+class TestDirectedEdge:
+    def test_weight_constant(self):
+        assert DirectedEdge.WEIGHT == 1
+
+    def test_self_loop(self):
+        assert DirectedEdge(V("y"), V("y"), 1).is_self_loop
+        assert not DirectedEdge(V("x"), V("z"), 0).is_self_loop
+
+    def test_endpoints(self):
+        edge = DirectedEdge(V("x"), V("z"), 0)
+        assert edge.endpoints() == {V("x"), V("z")}
+        loop = DirectedEdge(V("y"), V("y"), 1)
+        assert loop.endpoints() == {V("y")}
+
+    def test_str_shows_position_one_based(self):
+        assert str(DirectedEdge(V("x"), V("z"), 0)) == "x →(1) z"
+
+
+class TestUndirectedEdge:
+    def test_weight_constant(self):
+        assert UndirectedEdge.WEIGHT == 0
+
+    def test_other(self):
+        edge = UndirectedEdge(V("x"), V("z"), "A", 0)
+        assert edge.other(V("x")) == V("z")
+        assert edge.other(V("z")) == V("x")
+        with pytest.raises(ValueError):
+            edge.other(V("q"))
+
+    def test_str_carries_label(self):
+        assert str(UndirectedEdge(V("x"), V("z"), "A", 0)) == \
+            "x —[A]— z"
+
+
+class TestTraversedEdge:
+    def test_directed_forward_weight(self):
+        step = TraversedEdge(DirectedEdge(V("x"), V("z"), 0), True)
+        assert step.weight == 1
+        assert step.source == V("x")
+        assert step.target == V("z")
+
+    def test_directed_backward_is_implicit_reverse(self):
+        step = TraversedEdge(DirectedEdge(V("x"), V("z"), 0), False)
+        assert step.weight == -1
+        assert step.source == V("z")
+        assert step.target == V("x")
+
+    def test_undirected_weight_zero_both_ways(self):
+        edge = UndirectedEdge(V("x"), V("z"), "A", 0)
+        assert TraversedEdge(edge, True).weight == 0
+        assert TraversedEdge(edge, False).weight == 0
+        assert TraversedEdge(edge, False).source == V("z")
+
+
+class TestPathWeight:
+    def test_mixed_walk(self):
+        d1 = DirectedEdge(V("x"), V("z"), 0)
+        u1 = UndirectedEdge(V("z"), V("w"), "A", 0)
+        d2 = DirectedEdge(V("q"), V("w"), 1)
+        walk = (TraversedEdge(d1, True), TraversedEdge(u1, True),
+                TraversedEdge(d2, False))
+        assert path_weight(walk) == 0  # +1, 0, -1
+
+    def test_empty_walk(self):
+        assert path_weight(()) == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the relational-algebra expression evaluator."""
+
+import pytest
+
+from repro.datalog.errors import SchemaError
+from repro.ra.database import Database
+from repro.ra.expr import (CartesianProduct, DifferenceOp, Join, Literal,
+                           Projection, Renaming, Scan, Selection, Semijoin,
+                           UnionOp, evaluate, scan, select)
+from repro.ra.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict({
+        "A": [("a", "b"), ("b", "c")],
+        "E": [("c", "c")],
+    })
+
+
+class TestEvaluate:
+    def test_scan(self, db):
+        rel = evaluate(scan("A", "x", "y"), db)
+        assert rel.columns == ("x", "y")
+        assert len(rel) == 2
+
+    def test_scan_arity_checked(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(scan("A", "x"), db)
+
+    def test_literal(self, db):
+        rel = Relation(("k",), [("v",)])
+        assert evaluate(Literal(rel), db) == rel
+
+    def test_selection(self, db):
+        rel = evaluate(select(scan("A", "x", "y"), x="a"), db)
+        assert rel.rows == {("a", "b")}
+
+    def test_projection(self, db):
+        rel = evaluate(Projection(scan("A", "x", "y"), ("y",)), db)
+        assert rel.rows == {("b",), ("c",)}
+
+    def test_renaming(self, db):
+        rel = evaluate(Renaming(scan("A", "x", "y"), (("y", "z"),)), db)
+        assert rel.columns == ("x", "z")
+
+    def test_join_chains_hops(self, db):
+        two_hop = Join(scan("A", "x", "y"), scan("A", "y", "z"))
+        assert evaluate(two_hop, db).rows == {("a", "b", "c")}
+
+    def test_cartesian_product(self, db):
+        product = CartesianProduct(scan("A", "x", "y"), scan("E", "u", "v"))
+        assert len(evaluate(product, db)) == 2
+
+    def test_union_and_difference(self, db):
+        both = UnionOp(scan("A", "x", "y"), scan("E", "x", "y"))
+        assert len(evaluate(both, db)) == 3
+        minus = DifferenceOp(both, scan("E", "x", "y"))
+        assert evaluate(minus, db).rows == db.rows("A")
+
+    def test_semijoin(self, db):
+        gated = Semijoin(scan("A", "x", "y"), scan("E", "y", "w"))
+        assert evaluate(gated, db).rows == {("b", "c")}
+
+    def test_unknown_node_rejected(self, db):
+        with pytest.raises(TypeError):
+            evaluate(object(), db)  # type: ignore[arg-type]
+
+
+class TestCompiledFormulaAsAlgebra:
+    """Run the transitive-closure compiled formula σA^k ⋈ E as an
+    explicit algebra expression and check it against the engine."""
+
+    def test_sigma_a_k_joined_with_exit(self):
+        db = Database.from_dict({
+            "A": [("n0", "n1"), ("n1", "n2"), ("n2", "n3")],
+            "E": [(f"n{i}", f"n{i}") for i in range(4)],
+        })
+        # σ_{x=n0} A^k joined with E over three iterations
+        frontier = evaluate(
+            Projection(select(scan("A", "x", "y"), x="n0"), ("y",)), db)
+        answers = {("n0", "n0")}
+        for _ in range(3):
+            answers |= {("n0", row[0]) for row in frontier}
+            step = Join(Renaming(Literal(frontier), (("y", "x"),)),
+                        scan("A", "x", "y"))
+            frontier = evaluate(Projection(step, ("y",)), db)
+
+        from repro.datalog.parser import parse_system
+        from repro.engine import Query, SemiNaiveEngine
+        system = parse_system(
+            "P(x, y) :- A(x, z), P(z, y).\nP(x, y) :- E(x, y).")
+        engine_answers = SemiNaiveEngine().evaluate(
+            system, db, Query.parse("P(n0, Y)"))
+        assert frozenset(answers) == engine_answers
+
+
+class TestEqualColumnsAndExtend:
+    def test_equal_columns_keeps_diagonal(self, db):
+        from repro.ra import EqualColumns
+        db2 = Database.from_dict({"R": [("a", "a"), ("a", "b")]})
+        rel = evaluate(EqualColumns(Scan("R", ("x", "y")), "x", "y"),
+                       db2)
+        assert rel.rows == {("a", "a")}
+
+    def test_equal_columns_unknown_column(self, db):
+        from repro.ra import EqualColumns
+        from repro.datalog.errors import SchemaError
+        with pytest.raises(SchemaError):
+            evaluate(EqualColumns(Scan("A", ("x", "y")), "x", "zz"), db)
+
+    def test_extend_duplicates_column(self, db):
+        from repro.ra import Extend
+        rel = evaluate(Extend(Scan("A", ("x", "y")), "x", "x2"), db)
+        assert rel.columns == ("x", "y", "x2")
+        assert all(row[0] == row[2] for row in rel.rows)
+
+    def test_extend_then_project_swaps(self, db):
+        from repro.ra import Extend
+        rel = evaluate(
+            Projection(Extend(Scan("A", ("x", "y")), "x", "x2"),
+                       ("x2", "y")), db)
+        assert rel.columns == ("x2", "y")
+        assert len(rel) == 2

@@ -1,0 +1,43 @@
+"""Unit tests for the benchmark harness."""
+
+from repro.bench import POINT_HEADERS, run_point
+from repro.engine import Query
+from repro.ra import Database
+from repro.workloads import CATALOGUE, chain, reflexive_exit
+
+
+def make_point():
+    system = CATALOGUE["s1a"].system()
+    db = Database.from_dict({"A": chain(8),
+                             "P__exit": reflexive_exit(8)})
+    return run_point("chain-8", system, db, Query.parse("P(n0, Y)"))
+
+
+class TestRunPoint:
+    def test_all_engines_run_and_agree(self):
+        point = make_point()
+        assert set(point.runs) == {"naive", "semi-naive", "compiled"}
+        assert point.agreed
+
+    def test_speedup_direction(self):
+        point = make_point()
+        assert point.speedup("naive", "compiled") > 1.0
+
+    def test_row_shape(self):
+        point = make_point()
+        row = point.row()
+        assert len(row) == len(POINT_HEADERS)
+        assert row[0] == "chain-8"
+        assert row[-1] == "yes"
+
+    def test_engine_subset(self):
+        system = CATALOGUE["s1a"].system()
+        db = Database.from_dict({"A": chain(4),
+                                 "P__exit": reflexive_exit(4)})
+        point = run_point("small", system, db, Query.parse("P(n0, Y)"),
+                          engines=("semi-naive", "compiled"))
+        assert set(point.runs) == {"semi-naive", "compiled"}
+
+    def test_timings_recorded(self):
+        point = make_point()
+        assert all(run.seconds >= 0 for run in point.runs.values())

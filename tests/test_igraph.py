@@ -1,0 +1,111 @@
+"""Unit tests for I-graph construction (paper section 2, Figure 1)."""
+
+import pytest
+
+from repro.datalog.errors import RuleValidationError
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.graphs.igraph import build_igraph
+
+V = Variable
+
+
+class TestFigure1:
+    """The I-graphs of Example 1 exactly as drawn in Figure 1."""
+
+    def test_s1a_edges(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        directed = {(e.tail.name, e.head.name, e.position)
+                    for e in graph.directed}
+        assert directed == {("x", "z", 0), ("y", "y", 1)}
+        undirected = {(e.left.name, e.right.name, e.label)
+                      for e in graph.undirected}
+        assert undirected == {("x", "z", "A")}
+
+    def test_s1a_self_loop_flag(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        loops = [e for e in graph.directed if e.is_self_loop]
+        assert len(loops) == 1
+        assert loops[0].tail == V("y")
+
+    def test_s1b_edges(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z) :- A(x, y), P(u, z, v), B(u, v)."))
+        directed = {(e.tail.name, e.head.name) for e in graph.directed}
+        assert directed == {("x", "u"), ("y", "z"), ("z", "v")}
+        labels = {e.label for e in graph.undirected}
+        assert labels == {"A", "B"}
+
+
+class TestDegreeStructure:
+    def test_directed_in_out_degree_at_most_one(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z)."))
+        for vertex in graph.vertices:
+            out_edges = [e for e in graph.directed if e.tail == vertex]
+            in_edges = [e for e in graph.directed if e.head == vertex]
+            assert len(out_edges) <= 1
+            assert len(in_edges) <= 1
+
+    def test_out_edge_and_in_edge_lookup(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        assert graph.out_edge(V("x")).head == V("z")
+        assert graph.in_edge(V("z")).tail == V("x")
+        assert graph.out_edge(V("z")) is None
+
+    def test_degree_counts_self_loop_twice(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        assert graph.degree(V("y")) == 2
+        assert graph.degree(V("x")) == 2  # one directed + one undirected
+
+    def test_anchors_are_directed_endpoints(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1)."))
+        assert graph.anchors == {V("x"), V("x1"), V("y"), V("y1")}
+
+
+class TestNonBinaryAtoms:
+    def test_ternary_atom_makes_clique(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y) :- T(x, y, z), P(x, y)."))
+        pairs = {frozenset((e.left.name, e.right.name))
+                 for e in graph.undirected}
+        assert pairs == {frozenset("xy"), frozenset("xz"),
+                         frozenset("yz")}
+
+    def test_unary_atom_contributes_no_edge(self):
+        graph = build_igraph(parse_rule("P(x, y) :- B(y), A(x, z), "
+                                        "P(z, y)."))
+        assert all(e.label != "B" for e in graph.undirected)
+
+    def test_repeated_variable_in_edb_atom_no_self_edge(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y) :- A(z, z), B(x, z), P(z, y)."))
+        assert all(e.left != e.right for e in graph.undirected)
+
+
+class TestDimensionsAndSummary:
+    def test_dimension_equals_arity(self):
+        graph = build_igraph(parse_rule(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z)."))
+        assert graph.dimension == 3
+
+    def test_edge_summary_is_deterministic(self):
+        rule = parse_rule("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        assert (build_igraph(rule).edge_summary()
+                == build_igraph(rule).edge_summary())
+
+    def test_nontrivial_iff_directed_edges(self):
+        graph = build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        assert graph.is_nontrivial
+
+
+class TestValidationThroughGraph:
+    def test_plain_rule_is_validated_loosely(self):
+        # deliberately not range restricted — allowed with strict=False
+        build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, x)."))
+
+    def test_strict_mode_rejects(self):
+        with pytest.raises(RuleValidationError):
+            build_igraph(parse_rule("P(x, y) :- A(x, z), P(z, x)."),
+                         strict=True)

@@ -1,0 +1,76 @@
+"""Tests for TSV persistence of fact stores."""
+
+import pytest
+
+from repro.datalog.errors import EvaluationError
+from repro.ra import Database
+from repro.ra.io import (load_database, load_relation, save_database,
+                         save_relation)
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict({
+        "A": [("a", "b"), ("b", "c")],
+        "N": [(1,), (2,)],
+        "M": [("x", 2.5)],
+    })
+
+
+class TestRoundTrip:
+    def test_database_round_trip(self, db, tmp_path):
+        save_database(db, tmp_path)
+        again = load_database(tmp_path)
+        for name in db.relation_names:
+            assert again.rows(name) == db.rows(name)
+
+    def test_types_recovered(self, db, tmp_path):
+        save_database(db, tmp_path)
+        again = load_database(tmp_path)
+        assert again.rows("N") == {(1,), (2,)}
+        assert again.rows("M") == {("x", 2.5)}
+
+    def test_deterministic_files(self, db, tmp_path):
+        save_database(db, tmp_path / "one")
+        save_database(db, tmp_path / "two")
+        first = (tmp_path / "one" / "A.tsv").read_text()
+        second = (tmp_path / "two" / "A.tsv").read_text()
+        assert first == second
+
+    def test_empty_relation_round_trips(self, tmp_path):
+        db = Database()
+        db.declare("Empty", 2)
+        save_database(db, tmp_path)
+        again = load_database(tmp_path)
+        assert again.rows("Empty") == frozenset()
+
+
+class TestSingleRelation:
+    def test_relation_round_trip(self, tmp_path):
+        rows = [("a", 1), ("b", 2)]
+        save_relation(rows, tmp_path / "r.tsv")
+        assert sorted(load_relation(tmp_path / "r.tsv")) == sorted(rows)
+
+
+class TestErrors:
+    def test_tab_in_value_rejected(self, tmp_path):
+        db = Database.from_dict({"A": [("a\tb",)]})
+        with pytest.raises(EvaluationError, match="tabs"):
+            save_database(db, tmp_path)
+
+    def test_missing_directory(self):
+        with pytest.raises(EvaluationError, match="not a directory"):
+            load_database("/nonexistent/dir/for/sure")
+
+
+class TestIntegrationWithEngines:
+    def test_saved_edb_answers_identically(self, tmp_path):
+        from repro.engine import Query, SemiNaiveEngine
+        from repro.workloads import CATALOGUE, chain_edb
+        system = CATALOGUE["s1a"].system()
+        db = chain_edb(system, 6)
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        engine = SemiNaiveEngine()
+        assert engine.evaluate(system, db) == engine.evaluate(
+            system, loaded)

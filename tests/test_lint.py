@@ -1,0 +1,84 @@
+"""Tests for the rule linter."""
+
+import pytest
+
+from repro.core.lint import Diagnostic, lint_report, lint_text
+
+
+def codes(text: str) -> list[str]:
+    return [d.code for d in lint_text(text)]
+
+
+class TestStructuralErrors:
+    def test_no_recursion(self):
+        assert codes("P(x, y) :- A(x, y).") == ["E001"]
+
+    def test_multiple_recursive_rules(self):
+        assert codes("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- P(x, z), B(z, y).
+        """) == ["E002"]
+
+    def test_nonlinear(self):
+        assert "E003" in codes("P(x, y) :- P(x, z), P(z, y).")
+
+    def test_constant_in_rule(self):
+        assert "E004" in codes("P(x, y) :- A(x, 3), P(x, y).")
+
+    def test_repeated_variable(self):
+        assert "E005" in codes("P(x, y) :- A(x, z), P(z, z).")
+
+    def test_not_range_restricted_names_the_variable(self):
+        findings = lint_text("P(x, y) :- A(x, z), P(z, x).")
+        e006 = next(d for d in findings if d.code == "E006")
+        assert "y" in e006.message
+
+    def test_missing_exit_is_warning(self):
+        findings = lint_text("P(x, y) :- A(x, z), P(z, y).")
+        w001 = next(d for d in findings if d.code == "W001")
+        assert w001.level == "warning"
+
+
+class TestAdvisories:
+    def test_redundant_atoms_flagged(self):
+        assert "W101" in codes("""
+            P(x, y) :- A(x, z), A(x, w), P(z, y).
+            P(x, y) :- E(x, y).
+        """)
+
+    def test_bounded_advice(self):
+        assert "I201" in codes("""
+            P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1),
+                             P(z, y1, z1, u1).
+            P(x, y, z, u) :- E(x, y, z, u).
+        """)
+
+    def test_transformable_advice(self):
+        findings = lint_text("""
+            P(x, y) :- A(x, z), P(y, z).
+            P(x, y) :- E(x, y).
+        """)
+        i202 = next(d for d in findings if d.code == "I202")
+        assert "2×" in i202.message
+
+    def test_hopeless_bindings_advice(self):
+        assert "I203" in codes("""
+            P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).
+            P(x, y, z) :- E(x, y, z).
+        """)
+
+    def test_clean_rule(self):
+        assert codes("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+        """) == []
+        assert lint_report("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+        """) == "clean: no findings"
+
+
+class TestDiagnosticRendering:
+    def test_str_format(self):
+        diag = Diagnostic("warning", "W101", "something")
+        assert str(diag) == "W101 [warning] something"

@@ -1,0 +1,145 @@
+"""Metamorphic properties of Datalog evaluation.
+
+Instead of comparing against an oracle, these tests transform the
+*input* in ways with a known effect on the *output*:
+
+* **monotonicity** — adding facts never removes answers;
+* **genericity** — renaming constants through a bijection maps the
+  answers through the same bijection (pure Datalog can't look inside
+  values);
+* **body-order invariance** — permuting a rule body changes nothing;
+* **atom duplication** — repeating a body atom changes nothing;
+* **fresh-relation padding** — adding an always-satisfiable decoration
+  over fresh variables changes nothing;
+* **query/filter commutation** — evaluating bound queries equals
+  filtering the free query's answers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import RecursionSystem
+from repro.datalog.rules import RecursiveRule, Rule
+from repro.datalog.terms import Variable
+from repro.engine import CompiledEngine, Query, SemiNaiveEngine
+from repro.ra import Database
+from repro.workloads import random_edb
+
+from .strategies import linear_systems
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def evaluate_all(system, db):
+    return SemiNaiveEngine().evaluate(system, db)
+
+
+class TestMonotonicity:
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 3))
+    def test_adding_facts_grows_answers(self, system, seed):
+        small = random_edb(system, nodes=4, tuples_per_relation=4,
+                           seed=seed)
+        large = small.copy()
+        extra = random_edb(system, nodes=4, tuples_per_relation=4,
+                           seed=seed + 100)
+        for name in extra.relation_names:
+            large.bulk(name, extra.rows(name))
+        assert evaluate_all(system, small) <= evaluate_all(system,
+                                                           large)
+
+
+class TestGenericity:
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 3))
+    def test_constant_renaming_commutes(self, system, seed):
+        db = random_edb(system, nodes=4, tuples_per_relation=6,
+                        seed=seed)
+        mapping = {value: f"renamed_{value}"
+                   for value in db.active_domain()}
+        renamed = Database()
+        for name in db.relation_names:
+            renamed.bulk(name, {tuple(mapping[v] for v in row)
+                                for row in db.rows(name)})
+        expected = {tuple(mapping[v] for v in row)
+                    for row in evaluate_all(system, db)}
+        assert evaluate_all(system, renamed) == frozenset(expected)
+
+
+class TestSyntacticInvariances:
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 2), st.randoms(use_true_random=False))
+    def test_body_order_is_irrelevant(self, system, seed, rng):
+        db = random_edb(system, nodes=4, tuples_per_relation=6,
+                        seed=seed)
+        rule = system.recursive.rule
+        shuffled_body = list(rule.body)
+        rng.shuffle(shuffled_body)
+        shuffled = RecursionSystem(
+            RecursiveRule(Rule(rule.head, tuple(shuffled_body)),
+                          strict=False),
+            system.exits)
+        assert evaluate_all(system, db) == evaluate_all(shuffled, db)
+
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 2))
+    def test_duplicating_an_edb_atom_is_irrelevant(self, system, seed):
+        db = random_edb(system, nodes=4, tuples_per_relation=6,
+                        seed=seed)
+        rule = system.recursive.rule
+        edb_atoms = [a for a in rule.body
+                     if a.predicate != system.predicate]
+        if not edb_atoms:
+            return
+        doubled = RecursionSystem(
+            RecursiveRule(Rule(rule.head,
+                               rule.body + (edb_atoms[0],)),
+                          strict=False),
+            system.exits)
+        assert evaluate_all(system, db) == evaluate_all(doubled, db)
+
+    @RELAXED
+    @given(linear_systems(max_arity=2, max_edb_atoms=2),
+           st.integers(0, 2))
+    def test_satisfiable_decoration_is_irrelevant(self, system, seed):
+        """Adding Pad(f1, f2) over fresh variables with a non-empty
+        Pad relation changes nothing."""
+        db = random_edb(system, nodes=4, tuples_per_relation=6,
+                        seed=seed)
+        db.bulk("Pad", [("p1", "p2")])
+        rule = system.recursive.rule
+        padded = RecursionSystem(
+            RecursiveRule(Rule(rule.head, rule.body + (
+                Atom("Pad", (Variable("fresh1"), Variable("fresh2"))),)),
+                strict=False),
+            system.exits)
+        assert evaluate_all(system, db) == evaluate_all(padded, db)
+
+
+class TestQueryFilterCommutation:
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 2), st.integers(0, 7))
+    def test_bound_query_equals_filtered_free_query(self, system, seed,
+                                                    mask):
+        db = random_edb(system, nodes=4, tuples_per_relation=6,
+                        seed=seed)
+        domain = sorted(db.active_domain()) or ["c0"]
+        pattern = tuple(
+            domain[i % len(domain)]
+            if (mask >> i) & 1 and i < system.dimension else None
+            for i in range(system.dimension))
+        query = Query(system.predicate, pattern)
+        free = CompiledEngine().evaluate(
+            system, db, Query.all_free(system.predicate,
+                                       system.dimension))
+        bound = CompiledEngine().evaluate(system, db, query)
+        assert bound == query.filter(free)

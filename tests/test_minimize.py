@@ -1,0 +1,138 @@
+"""Redundant-atom elimination (CQ minimisation) tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.minimize import (find_homomorphism, minimize_rule,
+                                 minimize_system)
+from repro.datalog.parser import parse_atom, parse_rule, parse_system
+from repro.datalog.terms import Variable
+from repro.engine import SemiNaiveEngine
+from repro.workloads import random_edb
+
+from .strategies import linear_rules
+
+V = Variable
+
+
+class TestFindHomomorphism:
+    def test_fold_fresh_variable(self):
+        hom = find_homomorphism(
+            (parse_atom("A(x, w)"),), (parse_atom("A(x, z)"),),
+            frozenset({V("x")}))
+        assert hom == {V("w"): V("z")}
+
+    def test_fixed_variables_must_map_to_themselves(self):
+        hom = find_homomorphism(
+            (parse_atom("A(x, w)"),), (parse_atom("A(y, z)"),),
+            frozenset({V("x")}))
+        assert hom is None
+
+    def test_consistency_across_atoms(self):
+        source = (parse_atom("A(x, w)"), parse_atom("B(w, q)"))
+        target = (parse_atom("A(x, z)"), parse_atom("B(z, m)"))
+        hom = find_homomorphism(source, target, frozenset({V("x")}))
+        assert hom is not None
+        assert hom[V("w")] == V("z")
+
+    def test_inconsistent_sharing_fails(self):
+        source = (parse_atom("A(x, w)"), parse_atom("B(w, w)"))
+        target = (parse_atom("A(x, z)"), parse_atom("B(z, m)"))
+        assert find_homomorphism(source, target,
+                                 frozenset({V("x")})) is None
+
+    def test_predicate_must_match(self):
+        assert find_homomorphism(
+            (parse_atom("A(x)"),), (parse_atom("B(x)"),),
+            frozenset()) is None
+
+
+class TestMinimizeRule:
+    @pytest.mark.parametrize("text,expected", [
+        ("P(x, y) :- A(x, z), A(x, w), P(z, y).",
+         "P(x, y) :- A(x, z) ∧ P(z, y)."),
+        ("P(x, y) :- A(x, z), A(x, z), P(z, y).",
+         "P(x, y) :- A(x, z) ∧ P(z, y)."),
+        ("P(x, y) :- A(x, z), P(z, y).",
+         "P(x, y) :- A(x, z) ∧ P(z, y)."),
+    ])
+    def test_known_minimisations(self, text, expected):
+        assert str(minimize_rule(parse_rule(text))) == expected
+
+    def test_recursive_atom_variables_protected(self):
+        # A(x, w) folds into A(x, z) ONLY when w is not the recursive
+        # argument; here both feed the recursion, nothing drops
+        rule = parse_rule("P(x, y, u) :- A(x, z), A(x, w), P(z, w, y).")
+        assert len(minimize_rule(rule).body) == len(rule.body)
+
+    def test_chain_subsumption(self):
+        # B(z, w) folds into B(z, v) because w is unused downstream
+        rule = parse_rule(
+            "P(x, y) :- A(x, z), B(z, w), B(z, v), C(v, m), P(z, y).")
+        minimised = minimize_rule(rule)
+        predicates = [a.predicate for a in minimised.body]
+        assert predicates.count("B") == 1
+        assert "C" in predicates
+
+    def test_idempotent(self):
+        rule = parse_rule(
+            "P(x, y) :- A(x, z), A(x, w), B(w, q), P(z, y).")
+        once = minimize_rule(rule)
+        assert minimize_rule(once) == once
+
+    def test_whole_decoration_chain_folds(self):
+        # B(w, q) rides on the foldable w: both disappear together
+        rule = parse_rule(
+            "P(x, y) :- A(x, z), A(x, w), B(w, q), B(z, m), P(z, y).")
+        minimised = minimize_rule(rule)
+        assert len(minimised.body) == 3  # A, B, P
+
+    def test_exit_rule_minimised_on_head_vars_only(self):
+        rule = parse_rule("P(x, y) :- E(x, y), E(x, w).")
+        assert str(minimize_rule(rule)) == "P(x, y) :- E(x, y)."
+
+
+class TestMinimizeSystem:
+    def test_both_parts_minimised(self):
+        system = parse_system("""
+            P(x, y) :- A(x, z), A(x, w), P(z, y).
+            P(x, y) :- E(x, y), E(x, q).
+        """)
+        minimised = minimize_system(system)
+        assert len(minimised.recursive.rule.body) == 2
+        assert len(minimised.exits[0].body) == 1
+
+    def test_classification_can_improve(self):
+        """Dropping a redundant decoration simplifies the I-graph."""
+        from repro.core import classify
+        system = parse_system(
+            "P(x, y) :- A(x, z), A(x, w), P(z, y).")
+        before = classify(system)
+        after = classify(minimize_system(system))
+        assert after.is_strongly_stable
+        assert len(after.graph.vertices) < len(before.graph.vertices)
+
+
+class TestEquivalenceProperty:
+    RELAXED = settings(max_examples=30, deadline=None,
+                       suppress_health_check=[HealthCheck.too_slow])
+
+    @RELAXED
+    @given(linear_rules(max_arity=3, max_edb_atoms=4),
+           st.integers(0, 2))
+    def test_minimised_system_is_equivalent(self, rule, seed):
+        from repro.datalog.program import RecursionSystem
+        system = RecursionSystem(rule)
+        minimised = minimize_system(system)
+        db = random_edb(system, nodes=5, tuples_per_relation=7,
+                        seed=seed)
+        engine = SemiNaiveEngine()
+        assert engine.evaluate(system, db) == engine.evaluate(
+            minimised, db)
+
+    @RELAXED
+    @given(linear_rules(max_arity=3, max_edb_atoms=4))
+    def test_minimisation_never_grows(self, rule):
+        minimised = minimize_rule(rule.rule)
+        assert len(minimised.body) <= len(rule.rule.body)

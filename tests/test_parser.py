@@ -1,0 +1,133 @@
+"""Unit tests for the textual Datalog front end."""
+
+import pytest
+
+from repro.datalog.errors import DatalogSyntaxError
+from repro.datalog.parser import (parse_atom, parse_program, parse_rule,
+                                  parse_system)
+from repro.datalog.terms import Constant, Variable
+
+
+class TestParseAtom:
+    def test_rule_context_makes_variables(self):
+        parsed = parse_atom("A(x, y)")
+        assert parsed.args == (Variable("x"), Variable("y"))
+
+    def test_fact_context_makes_constants(self):
+        parsed = parse_atom("A(a, b)", in_rule=False)
+        assert parsed.args == (Constant("a"), Constant("b"))
+
+    def test_numbers_and_strings_are_constants_everywhere(self):
+        parsed = parse_atom("A(x, 3, 'lit')")
+        assert parsed.args[1] == Constant(3)
+        assert parsed.args[2] == Constant("lit")
+
+    def test_propositional_atom(self):
+        assert parse_atom("Go").arity == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("A(x) B")
+
+
+class TestParseRule:
+    def test_comma_and_wedge_separators(self):
+        by_comma = parse_rule("P(x, y) :- A(x, z), P(z, y).")
+        by_wedge = parse_rule("P(x, y) :- A(x, z) ∧ P(z, y).")
+        by_amp = parse_rule("P(x, y) :- A(x, z) & P(z, y).")
+        assert by_comma == by_wedge == by_amp
+
+    def test_final_dot_optional(self):
+        assert parse_rule("P(x) :- P(x)") == parse_rule("P(x) :- P(x).")
+
+    def test_fact_text_is_rejected_as_rule(self):
+        with pytest.raises(DatalogSyntaxError, match="fact"):
+            parse_rule("A(a, b).")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DatalogSyntaxError, match="line 2"):
+            parse_rule("P(x) :- % comment\n)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DatalogSyntaxError, match="unterminated"):
+            parse_rule("P(x) :- A(x, 'oops).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("P(x) :- A(x @ y).")
+
+
+class TestParseProgram:
+    PROGRAM = """
+        % transitive closure with an explicit exit rule
+        P(x, y) :- A(x, z), P(z, y).
+        P(x, y) :- E(x, y).
+        A(a, b).  # facts: identifiers become constants
+        A(b, c).
+        E(c, c).
+    """
+
+    def test_rules_and_facts_split(self):
+        program = parse_program(self.PROGRAM)
+        assert len(program.rules) == 2
+        assert len(program.facts) == 3
+
+    def test_idb_edb_partition(self):
+        program = parse_program(self.PROGRAM)
+        assert program.idb_predicates == {"P"}
+        assert program.edb_predicates == {"A", "E"}
+
+    def test_facts_are_ground(self):
+        program = parse_program(self.PROGRAM)
+        assert all(f.is_ground for f in program.facts)
+
+    def test_comments_ignored(self):
+        assert len(parse_program("% nothing here\n# nor here\n").rules) == 0
+
+
+class TestParseSystem:
+    def test_explicit_exits_collected(self):
+        system = parse_system("""
+            P(x, y) :- A(x, z), P(z, y).
+            P(x, y) :- E(x, y).
+            P(x, x) :- V(x).
+        """)
+        assert len(system.exits) == 2
+
+    def test_generic_exit_synthesised(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        assert len(system.exits) == 1
+        assert system.exits[0].body[0].predicate == "P__exit"
+
+    def test_rejects_zero_or_many_recursive_rules(self):
+        with pytest.raises(DatalogSyntaxError, match="exactly one"):
+            parse_system("P(x, y) :- E(x, y).")
+        with pytest.raises(DatalogSyntaxError, match="exactly one"):
+            parse_system("""
+                P(x, y) :- A(x, z), P(z, y).
+                P(x, y) :- P(x, z), B(z, y).
+            """)
+
+
+class TestQueryStatements:
+    def test_query_lines_collected(self):
+        program = parse_program("""
+            P(x, y) :- A(x, z), P(z, y).
+            A(a, b).
+            ?- P(a, Y).
+            ?- P(X, b).
+        """)
+        assert len(program.queries) == 2
+
+    def test_query_mode_case_convention(self):
+        program = parse_program("?- P(a, Y, _slot, 'Lit', 3).")
+        goal = program.queries[0]
+        kinds = [type(t).__name__ for t in goal.args]
+        assert kinds == ["Constant", "Variable", "Variable",
+                         "Constant", "Constant"]
+
+    def test_with_facts_preserves_queries(self):
+        from repro.datalog.atoms import fact
+        program = parse_program("?- P(a, Y).")
+        extended = program.with_facts([fact("A", "a", "b")])
+        assert len(extended.queries) == 1

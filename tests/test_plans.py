@@ -1,0 +1,63 @@
+"""Unit tests for the plan AST and its paper-notation renderer."""
+
+from repro.core.plans import (Branches, Exists, JoinChain, Power, Product,
+                              Rel, Select, Steps, UnionOverK,
+                              relation_names, render)
+
+
+class TestRendering:
+    def test_relation_and_select(self):
+        assert render(Rel("A")) == "A"
+        assert render(Select(Rel("A"))) == "σA"
+        assert render(Select(Rel("A"), binding="a")) == "σa·A"
+
+    def test_join_chain_uses_dashes(self):
+        chain = JoinChain((Select(Rel("A")), Rel("C"), Rel("B")))
+        assert render(chain) == "σA-C-B"
+
+    def test_branches_braced(self):
+        assert render(Branches((Rel("A"), Rel("B")))) == "{A, B}"
+
+    def test_power_of_single_relation(self):
+        assert render(Power(Rel("A"))) == "A^k"
+
+    def test_power_of_chain_bracketed(self):
+        assert render(Power(JoinChain((Rel("B"), Rel("A"))))) == "[B-A]^k"
+
+    def test_product_parenthesised(self):
+        plan = Product((Select(Rel("A")), JoinChain((Rel("E"), Rel("B")))))
+        assert render(plan) == "(σA) X (E-B)"
+
+    def test_exists(self):
+        assert render(Exists(JoinChain((Rel("E"), Rel("B"))))) == "∃(E-B)"
+
+    def test_union_over_k(self):
+        plan = UnionOverK(JoinChain((Select(Rel("A")), Rel("E"))), start=1)
+        assert render(plan) == "∪k≥1 [σA-E]"
+
+    def test_steps_comma_separated(self):
+        plan = Steps((Select(Rel("E")), Rel("A")))
+        assert render(plan) == "σE,  A"
+
+    def test_paper_s9_plan_renders(self):
+        """σE, (σA) X (∪k [(E⋈B)(BA)^k]) — the Example 9 shape."""
+        plan = Steps((
+            Select(Rel("E")),
+            Product((Select(Rel("A")),
+                     UnionOverK(JoinChain((
+                         JoinChain((Rel("E"), Rel("B"))),
+                         Power(JoinChain((Rel("B"), Rel("A")))))))))))
+        text = render(plan)
+        assert "σE" in text and "X" in text and "[B-A]^k" in text
+
+
+class TestRelationNames:
+    def test_collects_left_to_right(self):
+        plan = Steps((Select(Rel("E")),
+                      Product((Select(Rel("A")),
+                               JoinChain((Rel("E"), Rel("B")))))))
+        assert relation_names(plan) == ("E", "A", "E", "B")
+
+    def test_through_every_node_kind(self):
+        plan = UnionOverK(Exists(Branches((Power(Rel("A")), Rel("B")))))
+        assert relation_names(plan) == ("A", "B")

@@ -1,0 +1,107 @@
+"""Unit tests for the potential assignment (Ioannidis machinery)."""
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.graphs.igraph import build_igraph
+from repro.graphs.potential import (assign_potentials,
+                                    directed_path_weight,
+                                    has_nonzero_weight_cycle,
+                                    max_path_weight)
+
+V = Variable
+
+
+def graph_of(text: str):
+    return build_igraph(parse_rule(text))
+
+
+class TestConsistency:
+    def test_s8_consistent_with_bound_two(self):
+        """Figure 3: the I-graph of (s8) has max path weight 2."""
+        result = assign_potentials(graph_of(
+            "P(x, y, z, u) :- A(x, y), B(y1, u), C(z1, u1), "
+            "P(z, y1, z1, u1)."))
+        assert result.consistent
+        assert result.max_path_weight == 2
+
+    def test_s10_consistent_with_bound_two(self):
+        """Example 10: upper bound 2."""
+        assert max_path_weight(graph_of(
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1).")) == 2
+
+    def test_s9_inconsistent(self):
+        graph = graph_of("P(x, y, z) :- A(x, y), B(u, v), P(u, z, v).")
+        assert has_nonzero_weight_cycle(graph)
+        assert max_path_weight(graph) is None
+
+    def test_unit_cycle_inconsistent(self):
+        # transitive closure has a weight-1 cycle
+        assert has_nonzero_weight_cycle(graph_of(
+            "P(x, y) :- A(x, z), P(z, y)."))
+
+    def test_conflict_witness_reported(self):
+        result = assign_potentials(graph_of(
+            "P(x, y) :- A(x, z), P(z, y)."))
+        assert not result.consistent
+        assert result.conflict is not None
+        vertex, expected, found = result.conflict
+        assert expected != found
+
+    def test_per_component_spreads(self):
+        # two components, each a decorated directed path of spread 1
+        result = assign_potentials(graph_of(
+            "P(x, y) :- A(y, w), C(x, m), P(x1, y1)."))
+        assert result.consistent
+        assert sorted(result.component_spreads.values()) == [1, 1]
+
+
+class TestPotentialValues:
+    def test_directed_edge_raises_potential_by_one(self):
+        result = assign_potentials(graph_of(
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1)."))
+        pot = result.potentials
+        assert pot[V("x1")] - pot[V("x")] == 1
+        assert pot[V("y1")] - pot[V("y")] == 1
+
+    def test_undirected_edge_keeps_potential(self):
+        result = assign_potentials(graph_of(
+            "P(x, y) :- B(y), C(x, y1), P(x1, y1)."))
+        pot = result.potentials
+        assert pot[V("x")] == pot[V("y1")]
+
+
+class TestDirectedPathWeight:
+    def test_figure_2c_weight_two(self):
+        """The resolution-graph fact: weight from x to z₁ is two."""
+        from repro.datalog.parser import parse_system
+        from repro.graphs.resolution import resolution_graph
+        system = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        second = resolution_graph(system, 2)
+        assert directed_path_weight(second.graph, V("x"), V("z_1")) == 2
+
+    def test_unreachable_returns_none(self):
+        graph = graph_of("P(x, y) :- A(x, z), P(z, y).")
+        assert directed_path_weight(graph, V("z"), V("x")) is None
+
+    def test_zero_length_path(self):
+        graph = graph_of("P(x, y) :- A(x, z), P(z, y).")
+        assert directed_path_weight(graph, V("x"), V("x")) == 0
+
+    def test_self_loop_cycles_detected(self):
+        graph = graph_of("P(x, y) :- A(x, z), P(z, y).")
+        # following y's self-loop never reaches x
+        assert directed_path_weight(graph, V("y"), V("x")) is None
+
+
+class TestEmptyGraphEdgeCases:
+    def test_pure_permutational_graph(self):
+        result = assign_potentials(graph_of("P(x, y, z) :- P(y, z, x)."))
+        assert not result.consistent  # the weight-3 cycle
+
+    def test_trivial_component_has_spread_zero(self):
+        # D(a, b) forms a trivial component; its spread is recorded as
+        # 0 even though the recursive component is inconsistent
+        result = assign_potentials(graph_of(
+            "P(x, y) :- A(x, z), D(a, b), P(z, y)."))
+        assert not result.consistent  # the weight-1 A-cycle
+        assert 0 in result.component_spreads.values()

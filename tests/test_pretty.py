@@ -1,0 +1,48 @@
+"""Unit tests for paper-style pretty-printing."""
+
+from repro.datalog.parser import parse_rule, parse_system
+from repro.datalog.pretty import expansion_trace, format_rule, subscript
+
+
+class TestSubscript:
+    def test_plain_name_untouched(self):
+        assert subscript("z") == "z"
+
+    def test_trailing_digits(self):
+        assert subscript("x1") == "x₁"
+        assert subscript("y23") == "y₂₃"
+
+    def test_renaming_suffix(self):
+        assert subscript("z_1") == "z₁"
+        assert subscript("u_12") == "u₁₂"
+
+    def test_double_renaming_gets_comma(self):
+        assert subscript("x1_2") == "x₁,₂"
+        assert subscript("z_1_2") == "z₁,₂"
+
+
+class TestFormatRule:
+    def test_variables_subscripted_predicates_untouched(self):
+        rule = parse_rule("P(x1, y) :- A(x1, z_1), P(z_1, y).")
+        assert format_rule(rule) == \
+            "P(x₁, y) :- A(x₁, z₁) ∧ P(z₁, y)."
+
+    def test_unsubscripted_mode(self):
+        rule = parse_rule("P(x1, y) :- A(x1, z), P(z, y).")
+        assert "x1" in format_rule(rule, subscripted=False)
+
+
+class TestExpansionTrace:
+    def test_trace_lines(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        trace = expansion_trace(system, 2)
+        lines = trace.splitlines()
+        assert lines[0].startswith("expansion 1:")
+        assert lines[1].startswith("expansion 2:")
+        assert "z₁" in lines[1]
+
+    def test_trace_matches_paper_s2c(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        trace = expansion_trace(system, 2)
+        assert ("P(x, y) :- A(x, z) ∧ A(z, z₁) ∧ P(z₁, u₁) ∧ "
+                "B(u₁, u) ∧ B(u, y).") in trace

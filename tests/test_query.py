@@ -1,0 +1,62 @@
+"""Unit tests for query parsing and patterns."""
+
+import pytest
+
+from repro.datalog.errors import DatalogSyntaxError
+from repro.engine.query import Query
+
+
+class TestParse:
+    def test_constants_and_free_slots(self):
+        query = Query.parse("P(a, Y, _)")
+        assert query.predicate == "P"
+        assert query.pattern == ("a", None, None)
+
+    def test_numbers(self):
+        assert Query.parse("P(3, X)").pattern == (3, None)
+        assert Query.parse("P(2.5, X)").pattern == (2.5, None)
+
+    def test_quoted_strings(self):
+        assert Query.parse("P('Upper', X)").pattern == ("Upper", None)
+
+    def test_question_mark_slot(self):
+        assert Query.parse("P(?, a)").pattern == (None, "a")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            Query.parse("not a query")
+
+    def test_all_free_constructor(self):
+        query = Query.all_free("P", 3)
+        assert query.pattern == (None, None, None)
+
+
+class TestAdornment:
+    def test_positions_and_string(self):
+        query = Query.parse("P(a, Y, c)")
+        assert query.adornment == {0, 2}
+        assert query.adornment_string == "dvd"
+
+    def test_constants_mapping(self):
+        assert Query.parse("P(a, Y, c)").constants == {0: "a", 2: "c"}
+
+
+class TestMatching:
+    def test_matches_and_filter(self):
+        query = Query.parse("P(a, Y)")
+        assert query.matches(("a", "b"))
+        assert not query.matches(("b", "b"))
+        rows = {("a", "b"), ("b", "b"), ("a", "c")}
+        assert query.filter(rows) == {("a", "b"), ("a", "c")}
+
+    def test_str(self):
+        assert str(Query.parse("P(a, Y)")) == "P(a, _)"
+
+
+class TestFromAtom:
+    def test_goal_atom_to_query(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program("?- P(a, Y).")
+        query = Query.from_atom(program.queries[0])
+        assert query.predicate == "P"
+        assert query.pattern == ("a", None)

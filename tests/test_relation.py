@@ -1,0 +1,158 @@
+"""Unit tests for the Relation class and its algebra."""
+
+import pytest
+
+from repro.datalog.errors import SchemaError
+from repro.ra.relation import Relation, relation_from_pairs
+
+
+@pytest.fixture
+def edges():
+    return Relation(("src", "dst"), [("a", "b"), ("b", "c"), ("a", "c")])
+
+
+class TestConstruction:
+    def test_rows_are_frozenset(self, edges):
+        assert isinstance(edges.rows, frozenset)
+        assert len(edges) == 3
+
+    def test_duplicate_rows_collapse(self):
+        rel = Relation(("x",), [("a",), ("a",)])
+        assert len(rel) == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("x", "y"), [("a",)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("x", "x"), [])
+
+    def test_equality(self, edges):
+        same = Relation(("src", "dst"),
+                        [("b", "c"), ("a", "b"), ("a", "c")])
+        assert edges == same
+        assert hash(edges) == hash(same)
+
+
+class TestUnaryOps:
+    def test_select(self, edges):
+        assert edges.select(src="a").rows == {("a", "b"), ("a", "c")}
+        assert edges.select(src="a", dst="c").rows == {("a", "c")}
+
+    def test_select_unknown_column(self, edges):
+        with pytest.raises(SchemaError, match="no column"):
+            edges.select(nope="a")
+
+    def test_where(self, edges):
+        result = edges.where(lambda row: row[0] == row[1])
+        assert result.is_empty
+
+    def test_project(self, edges):
+        assert edges.project(("dst",)).rows == {("b",), ("c",)}
+
+    def test_project_reorders(self, edges):
+        swapped = edges.project(("dst", "src"))
+        assert ("b", "a") in swapped
+
+    def test_rename(self, edges):
+        renamed = edges.rename({"src": "from"})
+        assert renamed.columns == ("from", "dst")
+        assert renamed.rows == edges.rows
+
+
+class TestBinaryOps:
+    def test_union_and_difference(self, edges):
+        more = Relation(("src", "dst"), [("c", "d")])
+        assert len(edges.union(more)) == 4
+        assert edges.difference(edges).is_empty
+
+    def test_union_schema_checked(self, edges):
+        with pytest.raises(SchemaError, match="mismatch"):
+            edges.union(Relation(("a", "b"), []))
+
+    def test_intersection(self, edges):
+        other = Relation(("src", "dst"), [("a", "b"), ("z", "z")])
+        assert edges.intersection(other).rows == {("a", "b")}
+
+    def test_product_requires_disjoint_schemas(self, edges):
+        with pytest.raises(SchemaError, match="overlap"):
+            edges.product(edges)
+        result = edges.product(Relation(("k",), [("1",), ("2",)]))
+        assert len(result) == 6
+        assert result.columns == ("src", "dst", "k")
+
+    def test_natural_join_composes_paths(self, edges):
+        hop2 = edges.rename({"src": "dst", "dst": "fin"})
+        composed = edges.join(hop2)
+        assert ("a", "b", "c") in composed
+
+    def test_join_without_shared_columns_is_product(self, edges):
+        other = Relation(("k",), [("1",)])
+        assert edges.join(other) == edges.product(other)
+
+    def test_semijoin(self, edges):
+        keys = Relation(("src",), [("a",)])
+        assert edges.semijoin(keys).rows == {("a", "b"), ("a", "c")}
+
+    def test_semijoin_disjoint_schema_gates_on_emptiness(self, edges):
+        assert edges.semijoin(Relation(("q",), [("x",)])) == edges
+        assert edges.semijoin(Relation(("q",), [])).is_empty
+
+
+class TestAlgebraicLaws:
+    """The σ/⋈ laws the paper's evaluation principle relies on."""
+
+    def test_selection_pushes_through_join(self, edges):
+        hop2 = edges.rename({"src": "dst", "dst": "fin"})
+        pushed = edges.select(src="a").join(hop2)
+        late = edges.join(hop2).select(src="a")
+        assert pushed == late
+
+    def test_join_is_commutative_up_to_column_order(self, edges):
+        hop2 = edges.rename({"src": "dst", "dst": "fin"})
+        left = edges.join(hop2)
+        right = hop2.join(edges)
+        assert left.project(("src", "dst", "fin")) == \
+            right.project(("src", "dst", "fin"))
+
+    def test_union_idempotent_and_commutative(self, edges):
+        other = Relation(("src", "dst"), [("z", "z")])
+        assert edges.union(edges) == edges
+        assert edges.union(other) == other.union(edges)
+
+
+class TestHelpers:
+    def test_relation_from_pairs(self):
+        rel = relation_from_pairs([("a", "b")])
+        assert rel.columns == ("src", "dst")
+        assert ("a", "b") in rel
+
+
+class TestDivision:
+    def test_textbook_example(self):
+        enrolled = Relation(("student", "course"),
+                            [("ann", "db"), ("ann", "os"),
+                             ("bob", "db"), ("cal", "os")])
+        required = Relation(("course",), [("db",), ("os",)])
+        assert enrolled.divide(required).rows == {("ann",)}
+
+    def test_empty_divisor_keeps_all_quotients(self):
+        rel = Relation(("x", "y"), [("a", "1"), ("b", "2")])
+        empty = Relation(("y",), [])
+        assert rel.divide(empty).rows == {("a",), ("b",)}
+
+    def test_divisor_must_be_proper_subset(self):
+        rel = Relation(("x", "y"), [("a", "1")])
+        with pytest.raises(SchemaError):
+            rel.divide(Relation(("x", "y"), []))
+        with pytest.raises(SchemaError):
+            rel.divide(Relation(("z",), []))
+
+    def test_division_join_inequality(self):
+        """(r ÷ s) × s ⊆ r — the defining property."""
+        rel = Relation(("x", "y"), [("a", "1"), ("a", "2"), ("b", "1")])
+        div = Relation(("y",), [("1",), ("2",)])
+        quotient = rel.divide(div)
+        rebuilt = quotient.product(div)
+        assert rebuilt.rows <= rel.project(("x", "y")).rows

@@ -1,0 +1,71 @@
+"""Unit tests for figure rendering (ASCII and DOT)."""
+
+from repro.datalog.parser import parse_rule, parse_system
+from repro.graphs.igraph import build_igraph
+from repro.graphs.render import ascii_figure, ascii_resolution, to_dot
+from repro.graphs.resolution import resolution_graph
+
+
+class TestAsciiFigure:
+    def test_lists_vertices_and_edges(self):
+        text = ascii_figure(build_igraph(parse_rule(
+            "P(x, y) :- A(x, z), P(z, y).")), title="Figure 1(a)")
+        assert text.splitlines()[0] == "Figure 1(a)"
+        assert "vertices: x, y, z" in text
+        assert "x →(1) z" in text
+        assert "self-loop" in text
+        assert "x —(A)— z" in text
+
+    def test_subscripts_rendered(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        text = ascii_figure(resolution_graph(system, 2).graph)
+        assert "z₁" in text
+        assert "u₁" in text
+
+    def test_deterministic(self):
+        rule = parse_rule(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).")
+        assert (ascii_figure(build_igraph(rule))
+                == ascii_figure(build_igraph(rule)))
+
+
+class TestAsciiResolution:
+    def test_frontier_line(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+        text = ascii_resolution(resolution_graph(system, 2))
+        assert "frontier" in text
+        assert "z₁, u₁" in text
+
+
+class TestDot:
+    def test_dot_syntax_and_content(self):
+        dot = to_dot(build_igraph(parse_rule(
+            "P(x, y) :- A(x, z), P(z, y).")), name="s1a")
+        assert dot.startswith("graph s1a {")
+        assert dot.rstrip().endswith("}")
+        assert '"x" -- "z" [dir=forward' in dot
+        assert 'label="A"' in dot
+
+
+class TestAsciiReduced:
+    def test_hyper_cluster_shown(self):
+        from repro.graphs import ascii_reduced, reduce_graph
+        reduced = reduce_graph(build_igraph(parse_rule(
+            "P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).")))
+        text = ascii_reduced(reduced, "reduced:")
+        assert "hyper[ABC]" in text
+        assert "dependent" in text
+
+    def test_compressed_edge_shown(self):
+        from repro.graphs import ascii_reduced, reduce_graph
+        reduced = reduce_graph(build_igraph(parse_rule(
+            "P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).")))
+        text = ascii_reduced(reduced)
+        assert "—[ABC]—" in text and "(compressed)" in text
+
+    def test_decoration_shown(self):
+        from repro.graphs import ascii_reduced, reduce_graph
+        reduced = reduce_graph(build_igraph(parse_rule(
+            "P(x, y) :- A(x, z), B(y, w), P(z, y).")))
+        text = ascii_reduced(reduced)
+        assert "decoration[B] at y" in text

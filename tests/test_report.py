@@ -1,0 +1,54 @@
+"""Unit tests for the report renderers."""
+
+from repro.core.report import (classification_table, formula_dossier,
+                               text_table)
+from repro.workloads import CATALOGUE, paper_systems
+
+
+class TestTextTable:
+    def test_alignment_and_separator(self):
+        table = text_table(["a", "long_header"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # all rows equally wide
+        assert len({len(line.rstrip()) for line in lines[2:]}) >= 1
+
+    def test_cells_stringified(self):
+        table = text_table(["n"], [[None], [3]])
+        assert "None" in table and "3" in table
+
+
+class TestClassificationTable:
+    def test_one_row_per_formula(self):
+        table = classification_table(paper_systems())
+        # header + separator + 13 rows
+        assert len(table.splitlines()) == 15
+
+    def test_known_cells(self):
+        table = classification_table(paper_systems())
+        s8_row = next(line for line in table.splitlines()
+                      if line.startswith("s8"))
+        assert "bounded" in s8_row and "2" in s8_row
+        s11_row = next(line for line in table.splitlines()
+                       if line.startswith("s11"))
+        assert " E " in s11_row
+
+
+class TestDossier:
+    def test_sections_present(self):
+        text = formula_dossier("s9", CATALOGUE["s9"].system(),
+                               query_forms=("dvv", "vvd"))
+        assert "=== s9 ===" in text
+        assert "I-graph:" in text
+        assert "classification: C" in text
+        assert "query P(dvv) [iterative]" in text
+        assert "query P(vvd) [iterative]" in text
+
+    def test_stability_counterexample_shown(self):
+        text = formula_dossier("thm1", CATALOGUE["thm1"].system())
+        assert "counterexample" in text
+
+    def test_bounded_formula_shows_rank(self):
+        text = formula_dossier("s8", CATALOGUE["s8"].system())
+        assert "rank ≤ 2" in text

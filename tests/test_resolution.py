@@ -1,0 +1,107 @@
+"""Unit tests for resolution graphs (paper section 2, Figure 2)."""
+
+import pytest
+
+from repro.datalog.parser import parse_system
+from repro.datalog.terms import Variable
+from repro.graphs.resolution import resolution_graph, resolution_trace
+
+V = Variable
+
+
+@pytest.fixture
+def s2a():
+    return parse_system("P(x, y) :- A(x, z), P(z, u), B(u, y).")
+
+
+class TestFigure2:
+    def test_first_resolution_graph_is_the_igraph(self, s2a):
+        first = resolution_graph(s2a, 1)
+        directed = {(e.tail.name, e.head.name) for e in first.graph.directed}
+        assert directed == {("x", "z"), ("y", "u")}
+        assert first.frontier == (V("z"), V("u"))
+
+    def test_second_resolution_graph_retains_arrows(self, s2a):
+        """Figure 2(c): arrows of both layers present."""
+        second = resolution_graph(s2a, 2)
+        directed = {(e.tail.name, e.head.name)
+                    for e in second.graph.directed}
+        assert directed == {("x", "z"), ("y", "u"),
+                            ("z", "z_1"), ("u", "u_1")}
+
+    def test_second_graph_undirected_layers(self, s2a):
+        second = resolution_graph(s2a, 2)
+        labelled = {(e.label, frozenset((e.left.name, e.right.name)))
+                    for e in second.graph.undirected}
+        assert ("A", frozenset({"x", "z"})) in labelled
+        assert ("A", frozenset({"z", "z_1"})) in labelled
+        assert ("B", frozenset({"u_1", "u"})) in labelled
+        assert ("B", frozenset({"u", "y"})) in labelled
+
+    def test_frontier_advances(self, s2a):
+        assert resolution_graph(s2a, 2).frontier == (V("z_1"), V("u_1"))
+        assert resolution_graph(s2a, 3).frontier == (V("z_2"), V("u_2"))
+
+    def test_collapsed_igraph_is_figure_2d(self, s2a):
+        """Figure 2(d): the 2nd expansion as a formula by itself."""
+        collapsed = resolution_graph(s2a, 2).collapsed_igraph()
+        directed = {(e.tail.name, e.head.name)
+                    for e in collapsed.directed}
+        assert directed == {("x", "z_1"), ("y", "u_1")}
+
+
+class TestSelfLoops:
+    def test_self_loop_persists_without_duplication(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        third = resolution_graph(system, 3)
+        loops = [e for e in third.graph.directed if e.is_self_loop]
+        assert len(loops) == 1
+        non_loops = [e for e in third.graph.directed
+                     if not e.is_self_loop]
+        assert len(non_loops) == 3  # x→z, z→z_1, z_1→z_2
+
+
+class TestTrace:
+    def test_trace_levels(self, s2a):
+        trace = resolution_trace(s2a, 3)
+        assert [r.level for r in trace] == [1, 2, 3]
+        assert len(trace[2].graph.directed) == 6
+
+    def test_level_must_be_positive(self, s2a):
+        with pytest.raises(ValueError):
+            resolution_graph(s2a, 0)
+
+    def test_expansion_field_matches_program_expansion(self, s2a):
+        second = resolution_graph(s2a, 2)
+        assert second.expansion == s2a.expansion(2)
+
+
+class TestTheorem2Property1:
+    """A weight-n one-directional formula becomes stable after each n
+    expansions: the collapsed I-graph of the n-th expansion has
+    disjoint unit cycles."""
+
+    @pytest.mark.parametrize("text,weight", [
+        ("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+         "P(y1, y2, y3).", 3),
+        ("P(x, y) :- A(x, z), P(y, z).", 2),
+        ("P(x, y, z) :- P(y, z, x).", 3),
+    ])
+    def test_nth_expansion_is_stable(self, text, weight):
+        from repro.core.classifier import classify
+        system = parse_system(text)
+        collapsed = resolution_graph(system, weight).collapsed_igraph()
+        # classify the expansion rule directly
+        result = classify(system.expansion(weight))
+        assert result.is_strongly_stable
+        assert collapsed.dimension == system.dimension
+
+    @pytest.mark.parametrize("text,weight", [
+        ("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+         "P(y1, y2, y3).", 3),
+    ])
+    def test_intermediate_expansions_not_stable(self, text, weight):
+        from repro.core.classifier import classify
+        system = parse_system(text)
+        for k in range(1, weight):
+            assert not classify(system.expansion(k)).is_strongly_stable

@@ -1,0 +1,135 @@
+"""Robustness: unusual but legal values, shapes, and inputs."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_system
+from repro.engine import (CompiledEngine, Query, SemiNaiveEngine,
+                          TopDownEngine)
+from repro.ra import Database
+
+
+class TestValueTypes:
+    def test_integer_constants_flow_through(self, tc_system):
+        db = Database.from_dict({
+            "A": [(1, 2), (2, 3)],
+            "P__exit": [(3, 3)],
+        })
+        answers = CompiledEngine().evaluate(tc_system, db,
+                                            Query.parse("P(1, Y)"))
+        assert answers == {(1, 3)}
+
+    def test_mixed_types_never_unify(self, tc_system):
+        db = Database.from_dict({
+            "A": [(1, "1"), ("1", 2)],
+            "P__exit": [(2, 2), ("1", "1")],
+        })
+        # 1 (int) steps to "1" (str) which steps to 2 (int)
+        answers = SemiNaiveEngine().evaluate(tc_system, db,
+                                             Query.parse("P(1, Y)"))
+        assert (1, 2) in answers
+
+    def test_unicode_constants(self, tc_system):
+        db = Database.from_dict({
+            "A": [("Δ", "λ"), ("λ", "Ω")],
+            "P__exit": [("Ω", "Ω")],
+        })
+        answers = CompiledEngine().evaluate(
+            tc_system, db, Query("P", ("Δ", None)))
+        assert ("Δ", "Ω") in answers
+
+    def test_tuple_valued_constants(self, tc_system):
+        db = Database.from_dict({
+            "A": [((1, 2), (3, 4))],
+            "P__exit": [((3, 4), (3, 4))],
+        })
+        answers = SemiNaiveEngine().evaluate(
+            tc_system, db, Query("P", ((1, 2), None)))
+        assert ((1, 2), (3, 4)) in answers
+
+
+class TestDegenerateShapes:
+    def test_unary_recursive_predicate(self):
+        system = parse_system("""
+            reach(x) :- edge(y, x), reach(y).
+            reach(x) :- start(x).
+        """)
+        db = Database.from_dict({
+            "edge": [("a", "b"), ("b", "c")],
+            "start": [("a",)],
+        })
+        for engine in (SemiNaiveEngine(), CompiledEngine(),
+                       TopDownEngine()):
+            answers = engine.evaluate(system, db,
+                                      Query.all_free("reach", 1))
+            assert answers == {("a",), ("b",), ("c",)}
+
+    def test_empty_database_everywhere(self, tc_system):
+        db = Database()
+        for engine in (SemiNaiveEngine(), CompiledEngine(),
+                       TopDownEngine()):
+            assert engine.evaluate(tc_system, db,
+                                   Query.parse("P(a, Y)")) == frozenset()
+
+    def test_constants_absent_from_domain(self, tc_system, tc_chain_db):
+        answers = CompiledEngine().evaluate(
+            tc_system, tc_chain_db, Query.parse("P(nowhere, Y)"))
+        assert answers == frozenset()
+
+    def test_self_loop_data(self, tc_system):
+        db = Database.from_dict({
+            "A": [("a", "a")],
+            "P__exit": [("a", "a")],
+        })
+        for engine in (SemiNaiveEngine(), CompiledEngine()):
+            answers = engine.evaluate(tc_system, db,
+                                      Query.parse("P(a, Y)"))
+            assert answers == {("a", "a")}
+
+
+class TestLargePrograms:
+    def test_many_facts_parse(self):
+        lines = [f"A(n{i}, n{i + 1})." for i in range(500)]
+        program = parse_program("\n".join(lines))
+        assert len(program.facts) == 500
+
+    def test_long_rule_body(self):
+        atoms = ", ".join(f"R{i}(x{i}, x{i + 1})" for i in range(20))
+        system = parse_system(
+            f"P(x0, y) :- {atoms}, P(x20, y).")
+        from repro.core import classify
+        result = classify(system)
+        # a weight-1 rotational cycle through a 20-relation chain
+        assert result.is_transformable
+
+
+class TestPropositionalGuards:
+    """0-ary atoms act as global on/off switches for the recursion."""
+
+    def make(self):
+        system = parse_system("""
+            P(x, y) :- A(x, z), Enabled, P(z, y).
+            P(x, y) :- E(x, y).
+        """)
+        db = Database.from_dict({"A": [("a", "b"), ("b", "c")],
+                                 "E": [("c", "c")]})
+        return system, db
+
+    def test_guard_present_allows_recursion(self):
+        system, db = self.make()
+        db.add("Enabled", ())
+        for engine in (SemiNaiveEngine(), CompiledEngine(),
+                       TopDownEngine()):
+            answers = engine.evaluate(system, db,
+                                      Query.parse("P(a, Y)"))
+            assert answers == {("a", "c")}, engine.name
+
+    def test_guard_absent_blocks_recursion(self):
+        system, db = self.make()
+        for engine in (SemiNaiveEngine(), CompiledEngine()):
+            assert engine.evaluate(
+                system, db, Query.parse("P(a, Y)")) == frozenset()
+
+    def test_guard_does_not_affect_classification(self):
+        from repro.core import classify
+        system, _ = self.make()
+        assert classify(system).is_strongly_stable

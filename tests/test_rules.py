@@ -1,0 +1,118 @@
+"""Unit tests for repro.datalog.rules: Horn rules and validation."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.errors import RuleValidationError
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import RecursiveRule, Rule, exit_rule, make_rule
+from repro.datalog.terms import Variable
+
+
+class TestRule:
+    def test_str_uses_wedges(self):
+        rule = parse_rule("P(x, y) :- A(x, z), P(z, y).")
+        assert str(rule) == "P(x, y) :- A(x, z) ∧ P(z, y)."
+
+    def test_predicates_and_variables(self):
+        rule = parse_rule("P(x, y) :- A(x, z), P(z, y).")
+        assert rule.predicates == {"P", "A"}
+        assert {v.name for v in rule.variables} == {"x", "y", "z"}
+
+    def test_recursion_detection(self):
+        recursive = parse_rule("P(x, y) :- A(x, z), P(z, y).")
+        flat = parse_rule("P(x, y) :- A(x, y).")
+        assert recursive.is_recursive()
+        assert recursive.is_linear_recursive()
+        assert not flat.is_recursive()
+
+    def test_nonlinear_recursion_detected(self):
+        rule = parse_rule("P(x, y) :- P(x, z), P(z, y).")
+        assert rule.is_recursive()
+        assert not rule.is_linear_recursive()
+
+    def test_range_restriction(self):
+        assert parse_rule("P(x, y) :- A(x, z), P(z, y).") \
+            .is_range_restricted()
+        assert not parse_rule("P(x, y) :- A(x, z), P(z, x).") \
+            .is_range_restricted()  # y never appears in the body
+
+    def test_body_atoms_of(self):
+        rule = parse_rule("P(x, y) :- A(x, z), P(z, u), A(u, y).")
+        assert len(rule.body_atoms_of("A")) == 2
+        assert len(rule.body_atoms_of("P")) == 1
+
+    def test_iteration_yields_head_then_body(self):
+        rule = parse_rule("P(x, y) :- A(x, y).")
+        atoms = list(rule)
+        assert atoms[0] == rule.head
+        assert atoms[1:] == list(rule.body)
+
+
+class TestRecursiveRuleValidation:
+    def test_accepts_paper_examples(self):
+        RecursiveRule(parse_rule(
+            "P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z)."))
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(RuleValidationError, match="exactly one"):
+            RecursiveRule(parse_rule("P(x, y) :- P(x, z), P(z, y)."))
+
+    def test_rejects_nonrecursive(self):
+        with pytest.raises(RuleValidationError, match="exactly one"):
+            RecursiveRule(parse_rule("P(x, y) :- A(x, y)."))
+
+    def test_rejects_constants(self):
+        rule = make_rule(atom("P", "x"), [atom("A", "x", 5),
+                                          atom("P", "x")])
+        with pytest.raises(RuleValidationError, match="constant"):
+            RecursiveRule(rule)
+
+    def test_rejects_repeated_variable_in_head(self):
+        rule = make_rule(atom("P", "x", "x"),
+                         [atom("A", "x", "z"), atom("P", "z", "x")])
+        with pytest.raises(RuleValidationError, match="more than once"):
+            RecursiveRule(rule)
+
+    def test_rejects_repeated_variable_in_recursive_body_atom(self):
+        with pytest.raises(RuleValidationError, match="more than once"):
+            RecursiveRule(parse_rule("P(x, y) :- A(x, z), P(z, z)."))
+
+    def test_rejects_arity_mismatch(self):
+        rule = make_rule(atom("P", "x", "y"),
+                         [atom("A", "x", "z"), atom("P", "z")])
+        with pytest.raises(RuleValidationError, match="arit"):
+            RecursiveRule(rule)
+
+    def test_range_restriction_strictness(self):
+        text = "P(x, y) :- A(x, z), P(z, x)."
+        with pytest.raises(RuleValidationError, match="range"):
+            RecursiveRule(parse_rule(text), strict=True)
+        # non-strict mode admits the paper's illustrative fragments
+        RecursiveRule(parse_rule(text), strict=False)
+
+
+class TestRecursiveRuleAccessors:
+    def test_pieces(self):
+        rule = RecursiveRule(parse_rule(
+            "P(x, y) :- A(x, z), P(z, u), B(u, y)."))
+        assert rule.predicate == "P"
+        assert rule.dimension == 2
+        assert str(rule.recursive_atom) == "P(z, u)"
+        assert [a.predicate for a in rule.nonrecursive_atoms] == ["A", "B"]
+        assert rule.head_variables == (Variable("x"), Variable("y"))
+        assert rule.body_recursive_variables == (Variable("z"),
+                                                 Variable("u"))
+
+    def test_equality_and_hash(self):
+        first = RecursiveRule(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        second = RecursiveRule(parse_rule("P(x, y) :- A(x, z), P(z, y)."))
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestExitRule:
+    def test_generic_exit_shape(self):
+        rule = exit_rule("P", "E", 3)
+        assert str(rule) == "P(x1, x2, x3) :- E(x1, x2, x3)."
+        assert not rule.is_recursive()

@@ -1,0 +1,83 @@
+"""Tests for the realistic scenario generators."""
+
+from repro.engine import CompiledEngine, Query, SemiNaiveEngine
+from repro.ra import Database
+from repro.session import DeductiveDatabase
+from repro.workloads import (assembly, genealogy, genealogy_updown,
+                             org_hierarchy)
+
+
+class TestGenealogy:
+    def test_population_size(self):
+        rows = genealogy(3, families=2, children_per_couple=2)
+        # 2 roots, then 4, 8, 16 children: 28 parent edges
+        assert len(rows["parent"]) == 28
+
+    def test_deterministic(self):
+        assert genealogy(3, seed=5) == genealogy(3, seed=5)
+
+    def test_generation_labels_nest(self):
+        rows = genealogy(2, families=1)
+        for parent, child in rows["parent"]:
+            parent_gen = int(parent.split("_")[0][1:])
+            child_gen = int(child.split("_")[0][1:])
+            assert child_gen == parent_gen + 1
+
+    def test_ancestor_query_spans_generations(self):
+        rows = genealogy(4, families=1, children_per_couple=2)
+        ddb = DeductiveDatabase()
+        ddb.add_rule("anc(x, y) :- parent(x, z), anc(z, y).")
+        ddb.add_rule("anc(x, y) :- parent(x, y).")
+        ddb.add_facts("parent", rows["parent"])
+        descendants = ddb.query("anc(g0_p0, Y)")
+        # 2 + 4 + 8 + 16 descendants
+        assert len(descendants) == 30
+
+
+class TestUpDown:
+    def test_shapes(self):
+        rows = genealogy_updown(2, families=2)
+        assert len(rows["up"]) == len(rows["down"])
+        assert all(r == (r[0], r[0]) for r in rows["flat"])
+
+    def test_same_generation_on_scenario(self):
+        from repro.datalog import parse_system
+        system = parse_system("""
+            sg(x, y) :- up(x, u), sg(u, v), down(v, y).
+            sg(x, y) :- flat(x, y).
+        """)
+        db = Database.from_dict(genealogy_updown(3, families=1))
+        someone = sorted({r[0] for r in db.rows("up")})[0]
+        compiled = CompiledEngine().evaluate(
+            system, db, Query("sg", (someone, None)))
+        semi = SemiNaiveEngine().evaluate(
+            system, db, Query("sg", (someone, None)))
+        assert compiled == semi
+        # everyone in the same generation as `someone` shares its depth
+        depth = someone.split("_")[0]
+        assert all(answer[1].startswith(depth) for answer in compiled)
+
+
+class TestOrgAndAssembly:
+    def test_org_size(self):
+        rows = org_hierarchy(3, span=2)
+        assert len(rows["manages"]) == 2 + 4 + 8
+        grades = {g for _, g in rows["grade"]}
+        assert grades == {"L0", "L1", "L2", "L3"}
+
+    def test_assembly_is_a_dag_with_shared_parts(self):
+        rows = assembly(3, fanout=2, shared_parts=2)["subpart"]
+        children: dict[str, int] = {}
+        for _, child in rows:
+            children[child] = children.get(child, 0) + 1
+        # shared standard parts have several parents
+        assert any(count > 1 for count in children.values())
+
+    def test_parts_explosion_counts(self):
+        rows = assembly(2, fanout=2, shared_parts=0)["subpart"]
+        ddb = DeductiveDatabase()
+        ddb.add_rule("contains(x, y) :- subpart(x, z), contains(z, y).")
+        ddb.add_rule("contains(x, y) :- subpart(x, y).")
+        ddb.add_facts("subpart", rows)
+        everything = ddb.query("contains(product, Y)")
+        assert len(everything) == 6  # 2 + 4 parts below the root

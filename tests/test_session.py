@@ -1,0 +1,188 @@
+"""Tests for the DeductiveDatabase session facade."""
+
+import pytest
+
+from repro.datalog.errors import (EvaluationError, RuleValidationError)
+from repro.engine import EvaluationStats, Query, SemiNaiveEngine
+from repro.session import DeductiveDatabase
+
+GENEALOGY = """
+    parent(ann, bea).  parent(bea, cal).  parent(cal, dee).
+    female(ann). female(cal).
+    mother(x, y) :- parent(x, y), female(x).
+    anc(x, y) :- parent(x, z), anc(z, y).
+    anc(x, y) :- parent(x, y).
+    matriline(x, y) :- mother(x, z), matriline(z, y).
+    matriline(x, y) :- mother(x, y).
+"""
+
+
+@pytest.fixture
+def ddb():
+    session = DeductiveDatabase()
+    session.load(GENEALOGY)
+    return session
+
+
+class TestLoading:
+    def test_rules_and_facts_split(self, ddb):
+        assert len(ddb.program.rules) == 5
+        assert ddb.idb_predicates == {"mother", "anc", "matriline"}
+
+    def test_add_fact_and_rule_incrementally(self):
+        session = DeductiveDatabase()
+        session.add_rule("p(x, y) :- e(x, y).")
+        session.add_fact("e", "a", "b")
+        assert session.query("p(X, Y)") == {("a", "b")}
+
+    def test_add_facts_bulk(self):
+        session = DeductiveDatabase()
+        session.add_facts("e", [("a", "b"), ("b", "c")])
+        assert session.query(Query.parse("e(X, Y)")) == {
+            ("a", "b"), ("b", "c")}
+
+
+class TestStructure:
+    def test_system_for_recursive_predicate(self, ddb):
+        system = ddb.system_for("anc")
+        assert system is not None
+        assert system.predicate == "anc"
+        assert len(system.exits) == 1
+
+    def test_system_for_view_is_none(self, ddb):
+        assert ddb.system_for("mother") is None
+
+    def test_classification_cached(self, ddb):
+        first = ddb.classification("anc")
+        second = ddb.classification("anc")
+        assert first is second
+        assert first.is_strongly_stable
+
+    def test_classification_of_view_rejected(self, ddb):
+        with pytest.raises(EvaluationError):
+            ddb.classification("mother")
+
+    def test_mutual_recursion_rejected(self):
+        session = DeductiveDatabase()
+        session.load("""
+            p(x) :- q(x).
+            q(x) :- p(x).
+        """)
+        with pytest.raises(RuleValidationError, match="mutually"):
+            session.materialise()
+
+    def test_recursive_without_exit_rejected(self):
+        session = DeductiveDatabase()
+        session.add_rule("p(x, y) :- e(x, z), p(z, y).")
+        with pytest.raises(RuleValidationError, match="no exit"):
+            session.query("p(a, Y)")
+
+
+class TestQuerying:
+    def test_edb_query(self, ddb):
+        assert ddb.query("parent(ann, Y)") == {("ann", "bea")}
+
+    def test_view_query(self, ddb):
+        assert ddb.query("mother(X, Y)") == {("ann", "bea"),
+                                             ("cal", "dee")}
+
+    def test_recursion_over_base(self, ddb):
+        assert sorted(ddb.query("anc(ann, Y)")) == [
+            ("ann", "bea"), ("ann", "cal"), ("ann", "dee")]
+
+    def test_recursion_over_view(self, ddb):
+        """matriline recurses through the *mother* view — stratified
+        evaluation materialises the view first."""
+        assert ddb.query("matriline(ann, Y)") == {("ann", "bea")}
+        assert ddb.query("matriline(cal, Y)") == {("cal", "dee")}
+
+    def test_unknown_predicate_is_empty(self, ddb):
+        assert ddb.query("nothing(X)") == frozenset()
+
+    def test_stats_filled(self, ddb):
+        stats = EvaluationStats()
+        ddb.query("anc(ann, Y)", stats=stats)
+        assert stats.answers == 3
+        assert stats.probes > 0
+
+    def test_matches_plain_engine(self, ddb):
+        answers = ddb.query("anc(X, Y)")
+        system = ddb.system_for("anc")
+        direct = SemiNaiveEngine().evaluate(system, ddb.materialise())
+        assert answers == direct
+
+
+class TestPlanCache:
+    def test_same_adornment_reuses_plan(self, ddb):
+        ddb.query("anc(ann, Y)")
+        first = ddb._plan_cache[("anc", frozenset({0}))]
+        ddb.query("anc(bea, Y)")   # same form, different constant
+        assert ddb._plan_cache[("anc", frozenset({0}))] is first
+
+    def test_new_rule_invalidates(self, ddb):
+        ddb.query("anc(ann, Y)")
+        assert ddb._plan_cache
+        ddb.add_rule("other(x, y) :- parent(x, y).")
+        assert not ddb._plan_cache
+
+    def test_new_fact_keeps_plans_but_rematerialises(self, ddb):
+        ddb.query("matriline(ann, Y)")
+        before = ddb.query("anc(ann, Y)")
+        ddb.add_fact("parent", "dee", "eve")
+        after = ddb.query("anc(ann, Y)")
+        assert ("ann", "eve") in after
+        assert len(after) == len(before) + 1
+
+
+class TestExplain:
+    def test_explain_recursive(self, ddb):
+        text = ddb.explain("anc(ann, Y)")
+        assert "strategy:   stable" in text
+        assert "σparent^k" in text
+
+    def test_explain_view(self, ddb):
+        assert "not recursive" in ddb.explain("mother(X, Y)")
+
+
+class TestUnindexedAblation:
+    def test_unindexed_session_gives_same_answers(self):
+        fast = DeductiveDatabase(indexed=True)
+        slow = DeductiveDatabase(indexed=False)
+        for session in (fast, slow):
+            session.load(GENEALOGY)
+        assert fast.query("anc(ann, Y)") == slow.query("anc(ann, Y)")
+
+
+class TestEngineParameter:
+    @pytest.mark.parametrize("engine", ["compiled", "semi-naive",
+                                        "naive", "top-down"])
+    def test_every_engine_choice_agrees(self, ddb, engine):
+        answers = ddb.query("anc(ann, Y)", engine=engine)
+        assert answers == ddb.query("anc(ann, Y)")
+
+    def test_unknown_engine_raises(self, ddb):
+        with pytest.raises(KeyError):
+            ddb.query("anc(ann, Y)", engine="quantum")
+
+
+class TestProve:
+    def test_derivations_for_answers(self, ddb):
+        derivations = ddb.prove("anc(ann, Y)")
+        assert len(derivations) == 3
+        rendered = derivations[0].render()
+        assert "anc(ann, bea)" in rendered
+
+    def test_limit(self, ddb):
+        assert len(ddb.prove("anc(ann, Y)", limit=1)) == 1
+
+    def test_prove_through_views(self, ddb):
+        """Provenance for a recursion over a materialised view shows
+        the view's tuples as EDB facts of that stratum."""
+        derivations = ddb.prove("matriline(ann, Y)")
+        assert len(derivations) == 1
+        assert "mother(ann, bea)" in derivations[0].render()
+
+    def test_prove_view_rejected(self, ddb):
+        from repro.datalog.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            ddb.prove("mother(X, Y)")

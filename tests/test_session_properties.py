@@ -1,0 +1,67 @@
+"""Property tests for the session facade: it must agree with the
+engines run directly, for random systems and random facts."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Query, SemiNaiveEngine
+from repro.session import DeductiveDatabase
+from repro.workloads import random_edb
+
+from .strategies import linear_systems
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSessionAgreement:
+    @RELAXED
+    @given(linear_systems(max_arity=3, max_edb_atoms=3),
+           st.integers(0, 3), st.integers(0, 7))
+    def test_session_query_equals_direct_engine(self, system, seed,
+                                                mask):
+        db = random_edb(system, nodes=5, tuples_per_relation=7,
+                        seed=seed)
+        session = DeductiveDatabase()
+        session.add_rule(system.recursive.rule)
+        for exit_rule in system.exits:
+            session.add_rule(exit_rule)
+        for name in db.relation_names:
+            session.add_facts(name, db.rows(name))
+
+        domain = sorted(db.active_domain()) or ["c0"]
+        pattern = tuple(
+            domain[i % len(domain)]
+            if (mask >> i) & 1 and i < system.dimension else None
+            for i in range(system.dimension))
+        query = Query(system.predicate, pattern)
+
+        direct = SemiNaiveEngine().evaluate(system, db, query)
+        via_session = session.query(query)
+        assert via_session == direct
+
+    @RELAXED
+    @given(linear_systems(max_arity=2, max_edb_atoms=2),
+           st.integers(0, 2))
+    def test_incremental_facts_refresh_answers(self, system, seed):
+        db = random_edb(system, nodes=4, tuples_per_relation=5,
+                        seed=seed)
+        session = DeductiveDatabase()
+        session.add_rule(system.recursive.rule)
+        for exit_rule in system.exits:
+            session.add_rule(exit_rule)
+        names = sorted(db.relation_names)
+        # load half the facts, query, load the rest, query again:
+        # the final answers must equal the all-at-once evaluation
+        for name in names:
+            rows = sorted(db.rows(name), key=repr)
+            session.add_facts(name, rows[: len(rows) // 2])
+        query = Query.all_free(system.predicate, system.dimension)
+        session.query(query)  # forces a materialisation in between
+        for name in names:
+            rows = sorted(db.rows(name), key=repr)
+            session.add_facts(name, rows[len(rows) // 2:])
+        final = session.query(query)
+        assert final == SemiNaiveEngine().evaluate(system, db, query)

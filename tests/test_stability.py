@@ -1,0 +1,75 @@
+"""Theorem 1: syntactic ⟺ semantic strong stability."""
+
+import pytest
+
+from repro.core.stability import (is_semantically_stable,
+                                  is_syntactically_stable,
+                                  stability_report)
+from repro.datalog.parser import parse_rule
+from repro.workloads import CATALOGUE
+
+
+class TestBothSides:
+    @pytest.mark.parametrize("text,expected", [
+        ("P(x, y) :- A(x, z), P(z, y).", True),            # s1a
+        ("P(x, y) :- A(x, z), P(z, u), B(u, y).", True),   # s2a
+        ("P(x, y, z) :- A(x, u), B(y, v), P(u, v, w), C(w, z).",
+         True),                                            # s3
+        ("P(x, y) :- A(x, u), B(x, z), C(z, u), P(u, y).",
+         True),                                            # compressed
+        ("P(x, y) :- A(x, z), P(y, z).", False),           # Thm 1 proof
+        ("P(x1, x2, x3) :- A(x1, y3), B(x2, y1), C(y2, x3), "
+         "P(y1, y2, y3).", False),                         # s4
+        ("P(x, y) :- A(x, x1), B(y, y1), C(x1, y1), P(x1, y1).",
+         False),                                           # s11
+        ("P(x, y) :- B(y), C(x, y1), P(x1, y1).", False),  # s10
+        ("P(x, y, z) :- P(y, z, x).", False),              # s5
+        ("P(x, y) :- P(x, y).", True),                     # pure A2
+    ])
+    def test_syntactic(self, text, expected):
+        assert is_syntactically_stable(parse_rule(text)) == expected
+
+    @pytest.mark.parametrize("text,expected", [
+        ("P(x, y) :- A(x, z), P(z, y).", True),
+        ("P(x, y) :- A(x, z), P(y, z).", False),
+        ("P(x, y, z) :- P(y, z, x).", False),
+        ("P(x, y) :- P(x, y).", True),
+    ])
+    def test_semantic(self, text, expected):
+        assert is_semantically_stable(parse_rule(text)) == expected
+
+
+class TestTheorem1OnCatalogue:
+    def test_equivalence_everywhere(self, catalogue_entry):
+        """Both characterisations agree on every paper example."""
+        report = stability_report(catalogue_entry.system().recursive)
+        assert report.agree, (
+            f"{catalogue_entry.name}: syntactic={report.syntactic} "
+            f"semantic={report.semantic} "
+            f"counterexample={report.counterexample}")
+
+
+class TestStabilityReport:
+    def test_counterexample_for_uniform_cycle(self):
+        """The paper's proof: a query with only x determined gives a
+        determined variable in a different position."""
+        report = stability_report(parse_rule(
+            "P(x, y) :- A(x, z), P(y, z)."))
+        assert not report.semantic
+        assert report.counterexample == "dv -> vd"
+
+    def test_stable_formula_has_no_counterexample(self):
+        report = stability_report(parse_rule(
+            "P(x, y) :- A(x, z), P(z, y)."))
+        assert report.syntactic and report.semantic
+        assert report.counterexample is None
+
+    def test_report_carries_classification(self):
+        report = stability_report(CATALOGUE["s3"].system().recursive)
+        assert report.classification.is_strongly_stable
+
+    def test_decorations_do_not_break_stability(self):
+        # B(y, w) decorates the self-loop; C(u, m) decorates the cycle
+        report = stability_report(parse_rule(
+            "P(x, y) :- A(x, u), B(y, w), C(u, m), P(u, y)."))
+        assert report.syntactic and report.semantic

@@ -1,0 +1,48 @@
+"""Unit tests for evaluation statistics."""
+
+from repro.engine.stats import EvaluationStats
+
+
+class TestMeasuredRank:
+    def test_exit_only(self):
+        stats = EvaluationStats()
+        stats.record_round(5)   # round 0: exits
+        stats.record_round(0)   # fixpoint
+        assert stats.measured_rank == 0
+
+    def test_last_productive_round(self):
+        stats = EvaluationStats()
+        for size in (4, 3, 2, 0):
+            stats.record_round(size)
+        assert stats.measured_rank == 2
+
+    def test_gap_rounds_ignored(self):
+        stats = EvaluationStats()
+        for size in (4, 0, 2, 0):
+            stats.record_round(size)
+        assert stats.measured_rank == 2
+
+    def test_empty_database(self):
+        stats = EvaluationStats()
+        stats.record_round(0)
+        assert stats.measured_rank == 0
+
+
+class TestCounters:
+    def test_record_round_increments_rounds(self):
+        stats = EvaluationStats()
+        stats.record_round(1)
+        stats.record_round(2)
+        assert stats.rounds == 2
+        assert stats.delta_sizes == [1, 2]
+
+    def test_merge(self):
+        left = EvaluationStats(rounds=1, probes=10, derived=5)
+        right = EvaluationStats(rounds=2, probes=3, derived=1)
+        left.merge(right)
+        assert (left.rounds, left.probes, left.derived) == (3, 13, 6)
+
+    def test_summary_mentions_engine(self):
+        stats = EvaluationStats(engine="compiled", probes=7)
+        assert "compiled" in stats.summary()
+        assert "probes=7" in stats.summary()

@@ -1,0 +1,99 @@
+"""Stress and scale sanity tests (kept fast but non-trivial)."""
+
+import pytest
+
+from repro.core import classify, compile_query, to_stable
+from repro.datalog.parser import parse_rule, parse_system
+from repro.engine import (CompiledEngine, Query, SemiNaiveEngine)
+from repro.ra import Database
+from repro.workloads import chain, reflexive_exit
+
+
+class TestDeepExpansion:
+    def test_expansion_depth_forty(self, tc_system):
+        deep = tc_system.expansion(40)
+        assert len(deep.body_atoms_of("A")) == 40
+        # all variables distinct
+        assert len(deep.variables) == 42
+
+    def test_exit_expansion_depth_forty(self, tc_system):
+        deep = tc_system.exit_expansion(40)
+        assert not deep.is_recursive()
+        assert len(deep.body_atoms_of("A")) == 39
+
+
+class TestLongChains:
+    def test_tc_on_200_chain(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict({"A": chain(200),
+                                 "P__exit": reflexive_exit(200)})
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n0, Y)"))
+        assert len(answers) == 201
+        assert ("n0", "n200") in answers
+
+    def test_point_query_on_long_chain(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict({"A": chain(300),
+                                 "P__exit": reflexive_exit(300)})
+        answers = CompiledEngine().evaluate(system, db,
+                                            Query.parse("P(n100, n300)"))
+        assert answers == {("n100", "n300")}
+
+
+class TestWideArity:
+    def test_seven_ary_permutation_classifies(self):
+        # a 7-cycle permutation: weight 7, class A4, bound 6
+        rule = parse_rule(
+            "P(x1, x2, x3, x4, x5, x6, x7) :- "
+            "P(x2, x3, x4, x5, x6, x7, x1).")
+        result = classify(rule)
+        assert str(result.formula_class) == "A4"
+        assert result.rank_bound == 6
+
+    def test_eight_disjoint_unit_cycles(self):
+        atoms = ", ".join(f"R{i}(x{i}, y{i})" for i in range(8))
+        heads = ", ".join(f"x{i}" for i in range(8))
+        bodies = ", ".join(f"y{i}" for i in range(8))
+        rule = parse_rule(f"P({heads}) :- {atoms}, P({bodies}).")
+        result = classify(rule)
+        assert result.is_strongly_stable
+        assert len(result.components) == 8
+
+    def test_five_ary_mixed_permutation_lcm(self):
+        # swap (b,c) weight 2 ⊕ rotation (a,d,e)?  positions: a→t via R
+        # (weight-1 rotational), (b,c) swap, (d,e) swap -> LCM 2
+        system = parse_system(
+            "P(a, b, c, d, e) :- R(a, t), P(t, c, b, e, d).")
+        result = classify(system)
+        assert result.is_transformable
+        assert result.unfold_times == 2
+
+
+class TestMixedScale:
+    def test_compile_large_unfolding(self):
+        # weight-4 rotational cycle: unfold 4x, 4 exits
+        system = parse_system(
+            "P(x1, x2, x3, x4) :- A(x1, y4), B(x2, y1), C(x3, y2), "
+            "D(x4, y3), P(y1, y2, y3, y4).")
+        result = classify(system)
+        assert result.unfold_times == 4
+        transformed = to_stable(system, result)
+        assert len(transformed.system.exits) == 4
+        compiled = compile_query(system, "dvvv", result)
+        assert compiled.plan_text
+
+    def test_engines_agree_on_wide_stable_formula(self):
+        atoms = ", ".join(f"R{i}(x{i}, y{i})" for i in range(5))
+        heads = ", ".join(f"x{i}" for i in range(5))
+        bodies = ", ".join(f"y{i}" for i in range(5))
+        system = parse_system(f"P({heads}) :- {atoms}, P({bodies}).")
+        db = Database()
+        for i in range(5):
+            db.bulk(f"R{i}", chain(3))
+        db.bulk("P__exit", [tuple("n3" for _ in range(5))])
+        query = Query("P", ("n0",) + (None,) * 4)
+        compiled = CompiledEngine().evaluate(system, db, query)
+        semi = SemiNaiveEngine().evaluate(system, db, query)
+        assert compiled == semi
+        assert len(compiled) == 1  # all positions must reach n3 together

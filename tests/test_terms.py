@@ -1,0 +1,66 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (Constant, Variable, fresh_variables,
+                                 is_constant, is_variable, variables_of)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_renamed_appends_level_subscript(self):
+        assert Variable("z").renamed(1) == Variable("z_1")
+        assert Variable("z").renamed(1).renamed(2) == Variable("z_1_2")
+
+    def test_str_is_bare_name(self):
+        assert str(Variable("x1")) == "x1"
+
+    def test_rejects_invalid_names(self):
+        with pytest.raises(ValueError):
+            Variable("")
+        with pytest.raises(ValueError):
+            Variable("1x")
+        with pytest.raises(ValueError):
+            Variable("a b")
+
+    def test_primed_names_allowed(self):
+        assert str(Variable("x'")) == "x'"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("x").name = "y"
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant(1) != Constant(2)
+
+    def test_str_of_non_string_values(self):
+        assert str(Constant(42)) == "42"
+
+    def test_distinct_from_variable_of_same_text(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestHelpers:
+    def test_is_variable_and_is_constant(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant("x"))
+        assert is_constant(Constant(3))
+        assert not is_constant(Variable("x"))
+
+    def test_variables_of_keeps_order_and_duplicates(self):
+        x, y = Variable("x"), Variable("y")
+        assert variables_of((x, Constant("a"), y, x)) == (x, y, x)
+
+    def test_fresh_variables_are_distinct(self):
+        fresh = fresh_variables(5)
+        assert len(set(fresh)) == 5
+        assert all(v.name.startswith("v") for v in fresh)

@@ -1,0 +1,248 @@
+"""One test class per theorem of the paper, machine-checked.
+
+Where a theorem is universally quantified, the property suite
+(test_properties.py) covers random instances; here each theorem is
+checked on the paper's own material plus targeted instances.
+"""
+
+import pytest
+
+from repro.core.classes import Boundedness, ComponentClass
+from repro.core.classifier import classify
+from repro.core.stability import (is_semantically_stable,
+                                  is_syntactically_stable)
+from repro.core.transform import to_stable
+from repro.datalog.parser import parse_rule, parse_system
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.workloads import CATALOGUE, random_edb
+
+
+class TestTheorem1:
+    """Strongly stable ⟺ disjoint unit cycles."""
+
+    def test_forward_direction_on_unit_cycle_formulas(self):
+        for name in ("s1a", "s2a", "s3", "compressed"):
+            rule = CATALOGUE[name].system().recursive
+            assert is_syntactically_stable(rule)
+            assert is_semantically_stable(rule)
+
+    def test_backward_direction_on_counterexample(self):
+        rule = parse_rule("P(x, y) :- A(x, z), P(y, z).")
+        assert not is_syntactically_stable(rule)
+        assert not is_semantically_stable(rule)
+
+
+class TestTheorem2:
+    """A weight-n one-directional cycle stabilises every n expansions
+    and unfolds to an equivalent stable formula with n exits."""
+
+    def test_property_1_stability_at_multiples_of_n(self):
+        system = CATALOGUE["s4"].system()
+        for k in (3, 6):
+            assert classify(system.expansion(k)).is_strongly_stable
+        for k in (1, 2, 4, 5):
+            assert not classify(system.expansion(k)).is_strongly_stable
+
+    def test_property_2_equivalent_stable_system(self):
+        system = CATALOGUE["s4"].system()
+        transformed = to_stable(system)
+        assert transformed.unfold_times == 3
+        assert len(transformed.system.exits) == 3
+        db = random_edb(system, nodes=5, tuples_per_relation=8, seed=11)
+        engine = SemiNaiveEngine()
+        assert engine.evaluate(system, db) == \
+            engine.evaluate(transformed.system, db)
+
+
+class TestTheorem3:
+    """Disjoint combinations of permutational cycles are permutational:
+    the formula returns to itself once stable."""
+
+    def test_s6_returns_to_itself_after_lcm(self):
+        system = CATALOGUE["s6"].system()
+        sixth = system.expansion(6)
+        # after 6 expansions the recursive atom carries the original
+        # argument variables in the original order
+        recursive_atom = next(a for a in sixth.body
+                              if a.predicate == "P")
+        assert recursive_atom.args == sixth.head.args
+
+    def test_combination_is_still_permutational(self):
+        result = classify(CATALOGUE["s6"].system())
+        assert all(k.is_permutational for k in result.component_kinds)
+
+
+class TestTheorem4:
+    """Disjoint one-directional cycles unfold by the LCM of weights."""
+
+    def test_s7_lcm_six(self):
+        assert classify(CATALOGUE["s7"].system()).unfold_times == 6
+
+    def test_mixed_weights_lcm(self):
+        result = classify(parse_rule(
+            "P(x, y, z, u, v) :- A(x, t), P(t, z, y, v, u)."))
+        weights = sorted(c.cycle_weight for c in result.components)
+        assert weights == [1, 2, 2]
+        assert result.unfold_times == 2
+
+
+class TestTheorem5:
+    """Independent multi-directional cycles are not transformable."""
+
+    @pytest.mark.parametrize("name", ["s8", "s9", "s1b"])
+    def test_multi_directional_not_transformable(self, name):
+        result = classify(CATALOGUE[name].system())
+        assert not result.is_transformable
+
+    def test_expansions_never_become_stable(self):
+        system = CATALOGUE["s9"].system()
+        for k in range(1, 7):
+            assert not classify(system.expansion(k)).is_strongly_stable
+
+
+class TestIoannidisTheorem:
+    """Bounded ⟺ no non-zero-weight cycle (no permutational patterns);
+    tight bound = max path weight."""
+
+    def test_s8_bound_is_tight_on_witness_database(self):
+        """A database realising the depth-2 derivation."""
+        system = CATALOGUE["s8"].system()
+        db = random_edb(system, nodes=4, tuples_per_relation=14, seed=5)
+        measured = SemiNaiveEngine().measured_rank(system, db)
+        assert measured <= 2
+
+    def test_s8_rank_two_reachable(self):
+        """Some database attains the bound (tightness)."""
+        system = CATALOGUE["s8"].system()
+        best = 0
+        for seed in range(25):
+            db = random_edb(system, nodes=3, tuples_per_relation=16,
+                            seed=seed)
+            best = max(best,
+                       SemiNaiveEngine().measured_rank(system, db))
+        assert best == 2
+
+    def test_unbounded_formula_rank_grows_with_data(self):
+        from repro.workloads import chain_edb
+        system = CATALOGUE["s1a"].system()
+        short = SemiNaiveEngine().measured_rank(
+            system, chain_edb(system, 4))
+        long = SemiNaiveEngine().measured_rank(
+            system, chain_edb(system, 12))
+        assert long > short
+
+
+class TestTheorem6And11:
+    """Disjoint combinations of bounded components are bounded."""
+
+    def test_two_bounded_cycles_combined(self):
+        # (s8)'s weight-0 cycle pattern duplicated over 8 positions
+        result = classify(parse_rule(
+            "P(x, y, z, u, x2, y2, z2, u2) :- A(x, y), B(y1, u), "
+            "C(z1, u1), A2(x2, y2), B2(y3, u2), C2(z3, u3), "
+            "P(z, y1, z1, u1, z2, y3, z3, u3)."))
+        assert result.boundedness is Boundedness.BOUNDED
+
+    def test_a2_a4_b_d_combination_bounded(self):
+        # A4 swap (x,y) ⊕ D-ish fresh chain on z
+        result = classify(parse_rule(
+            "P(x, y, z) :- C(z, z1), P(y, x, z2)."))
+        assert result.boundedness is Boundedness.BOUNDED
+
+    def test_bounded_plus_unbounded_is_unbounded(self):
+        result = classify(CATALOGUE["s12"].system())
+        assert result.boundedness is Boundedness.UNBOUNDED
+
+
+class TestTheorem7:
+    """Acyclic non-trivial components: not stable (and bounded, Cor 2)."""
+
+    def test_s10(self):
+        result = classify(CATALOGUE["s10"].system())
+        assert result.component_kinds == (ComponentClass.D,)
+        assert not result.is_strongly_stable
+        assert not result.is_transformable
+        assert result.boundedness is Boundedness.BOUNDED
+
+    def test_single_dangling_arrow(self):
+        result = classify(parse_rule("P(x) :- A(x, y), P(y1)."))
+        assert result.component_kinds == (ComponentClass.D,)
+
+
+class TestTheorem8:
+    """Dependent cycles are not transformable."""
+
+    def test_case1_multidirectional_subcycle(self):
+        result = classify(CATALOGUE["s11"].system())
+        assert result.formula_class.value == "E"
+        assert not result.is_transformable
+
+    def test_case3_extra_edge_on_one_directional_cycle(self):
+        # a unit cycle x→z—x with an extra undirected edge into the
+        # other cycle makes both dependent
+        result = classify(parse_rule(
+            "P(x, y) :- A(x, z), B(y, u), C(z, u), P(z, u)."))
+        assert result.formula_class.value == "E"
+        assert not result.is_transformable
+
+
+class TestTheorem9:
+    """Mixed combinations are not transformable."""
+
+    def test_s12_not_transformable(self):
+        result = classify(CATALOGUE["s12"].system())
+        assert not result.is_transformable
+
+    def test_a_class_plus_bounded_not_transformable(self):
+        result = classify(parse_rule(
+            "P(x, y, z, u, v) :- A(x, y), B(y1, u), C(z1, u1), D(v, t), "
+            "P(z, y1, z1, u1, t)."))
+        assert str(result.formula_class) == "F"
+        assert not result.is_transformable
+
+
+class TestTheorem10:
+    """Pure permutational formulas: tight bound LCM − 1."""
+
+    def test_s5_bound(self):
+        result = classify(CATALOGUE["s5"].system())
+        assert result.rank_bound == 2
+
+    def test_s6_bound(self):
+        result = classify(CATALOGUE["s6"].system())
+        assert result.rank_bound == 5
+
+    def test_s6_bound_is_attained(self):
+        """A database whose exit relation makes depth 5 productive."""
+        system = CATALOGUE["s6"].system()
+        best = 0
+        for seed in range(8):
+            db = random_edb(system, nodes=3, tuples_per_relation=10,
+                            seed=seed)
+            best = max(best,
+                       SemiNaiveEngine().measured_rank(system, db))
+        assert best == 5
+
+    def test_rank_never_exceeds_bound(self):
+        system = CATALOGUE["s6"].system()
+        for seed in range(6):
+            db = random_edb(system, nodes=4, tuples_per_relation=12,
+                            seed=seed)
+            assert SemiNaiveEngine().measured_rank(system, db) <= 5
+
+
+class TestTheorem12:
+    """Completeness: covered per-formula in test_classifier and on
+    random rules in test_properties; here: the four component
+    possibilities are mutually exclusive on a showcase formula each."""
+
+    @pytest.mark.parametrize("name,kind", [
+        ("s10", ComponentClass.D),
+        ("s3", ComponentClass.A1),
+        ("s8", ComponentClass.B),
+        ("s11", ComponentClass.E),
+    ])
+    def test_component_kind(self, name, kind):
+        result = classify(CATALOGUE[name].system())
+        assert result.component_kinds == (kind,) * len(
+            result.component_kinds)

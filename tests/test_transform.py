@@ -1,0 +1,105 @@
+"""Theorems 2/4 (unfolding to stable) and bounded flattening —
+including semantic equivalence checks on random databases."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.core.transform import to_nonrecursive, to_stable
+from repro.datalog.errors import RuleValidationError
+from repro.datalog.program import RecursionSystem
+from repro.engine.seminaive import SemiNaiveEngine
+from repro.workloads import CATALOGUE, random_edb
+
+
+def answers_of(system: RecursionSystem, db) -> frozenset:
+    return SemiNaiveEngine().evaluate(system, db)
+
+
+class TestToStable:
+    @pytest.mark.parametrize("name,unfold", [
+        ("s4", 3), ("s5", 3), ("s6", 6), ("s7", 6), ("thm1", 2),
+    ])
+    def test_unfold_counts(self, name, unfold):
+        transformed = to_stable(CATALOGUE[name].system())
+        assert transformed.unfold_times == unfold
+
+    @pytest.mark.parametrize("name", ["s4", "s5", "s6", "s7", "thm1"])
+    def test_result_is_strongly_stable(self, name):
+        transformed = to_stable(CATALOGUE[name].system())
+        assert transformed.classification.is_strongly_stable
+
+    @pytest.mark.parametrize("name", ["s1a", "s2a", "s3"])
+    def test_already_stable_is_identity(self, name):
+        transformed = to_stable(CATALOGUE[name].system())
+        assert transformed.is_identity
+        assert transformed.system is transformed.original
+
+    @pytest.mark.parametrize("name", ["s8", "s9", "s10", "s11", "s12"])
+    def test_nontransformable_rejected(self, name):
+        """Corollary 3: only one-directional cycles transform."""
+        with pytest.raises(RuleValidationError, match="not.*transformable"):
+            to_stable(CATALOGUE[name].system())
+
+    def test_exit_count_scales_with_unfolding(self):
+        transformed = to_stable(CATALOGUE["s4"].system())
+        assert len(transformed.system.exits) == 3
+
+    @pytest.mark.parametrize("name", ["s4", "s5", "thm1"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalence_on_random_databases(self, name, seed):
+        """The transformed system computes exactly the original's
+        fixpoint (Theorem 2: 'logically equivalent to the original
+        set')."""
+        system = CATALOGUE[name].system()
+        db = random_edb(system, nodes=6, tuples_per_relation=10,
+                        seed=seed)
+        transformed = to_stable(system)
+        assert answers_of(system, db) == answers_of(transformed.system, db)
+
+    def test_s7_equivalence_small(self):
+        system = CATALOGUE["s7"].system()
+        db = random_edb(system, nodes=4, tuples_per_relation=6, seed=3)
+        transformed = to_stable(system)
+        assert answers_of(system, db) == answers_of(transformed.system, db)
+
+
+class TestToNonrecursive:
+    @pytest.mark.parametrize("name,rule_count", [
+        ("s8", 3),   # bound 2 -> depths 1..3
+        ("s10", 3),  # bound 2
+        ("s5", 3),   # bound 2 (LCM 3 - 1)
+        ("s6", 6),   # bound 5
+    ])
+    def test_flattened_rule_count(self, name, rule_count):
+        assert len(to_nonrecursive(CATALOGUE[name].system())) == rule_count
+
+    def test_flattened_rules_are_nonrecursive(self):
+        for rule in to_nonrecursive(CATALOGUE["s8"].system()):
+            assert not rule.is_recursive()
+
+    @pytest.mark.parametrize("name", ["s8", "s10", "s5", "s6"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_flattening_is_equivalent(self, name, seed):
+        """Pseudo recursion: the finite set computes the same answers
+        as the recursion on any database."""
+        from repro.datalog.program import Program
+        from repro.engine.naive import NaiveEngine
+        system = CATALOGUE[name].system()
+        db = random_edb(system, nodes=6, tuples_per_relation=9, seed=seed)
+        recursive_answers = answers_of(system, db)
+        flat_program = Program(to_nonrecursive(system))
+        flat_answers = NaiveEngine().evaluate(flat_program, db)
+        assert flat_answers == recursive_answers
+
+    @pytest.mark.parametrize("name", ["s9", "s11", "s1a"])
+    def test_unbounded_rejected(self, name):
+        with pytest.raises(RuleValidationError, match="not bounded"):
+            to_nonrecursive(CATALOGUE[name].system())
+
+
+class TestClassificationReuse:
+    def test_explicit_classification_accepted(self):
+        system = CATALOGUE["s4"].system()
+        classification = classify(system)
+        transformed = to_stable(system, classification)
+        assert transformed.unfold_times == classification.unfold_times

@@ -1,0 +1,108 @@
+"""Unit tests for EDB generators and the formula catalogue."""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.datalog.parser import parse_rule
+from repro.workloads import (CATALOGUE, EXTRAS, PAPER_ORDER, binary_tree,
+                             chain, chain_edb, cycle, grid, paper_systems,
+                             random_digraph, random_edb, random_tuples,
+                             reflexive_exit)
+
+
+class TestGenerators:
+    def test_chain_shape(self):
+        edges = chain(3)
+        assert edges == [("n0", "n1"), ("n1", "n2"), ("n2", "n3")]
+
+    def test_cycle_wraps(self):
+        assert ("n2", "n0") in cycle(3)
+        assert len(cycle(5)) == 5
+
+    def test_binary_tree_node_and_edge_count(self):
+        edges = binary_tree(3)
+        # complete binary tree with 15 nodes has 14 edges
+        assert len(edges) == 14
+        children: dict[str, int] = {}
+        for parent, _ in edges:
+            children[parent] = children.get(parent, 0) + 1
+        assert all(count == 2 for count in children.values())
+
+    def test_random_digraph_deterministic(self):
+        assert random_digraph(10, 20, seed=4) == \
+            random_digraph(10, 20, seed=4)
+        assert random_digraph(10, 20, seed=4) != \
+            random_digraph(10, 20, seed=5)
+
+    def test_random_digraph_edge_count(self):
+        assert len(random_digraph(10, 20, seed=1)) == 20
+
+    def test_grid_edge_count(self):
+        # width*height*2 - width - height edges
+        assert len(grid(3, 4)) == 3 * 4 * 2 - 3 - 4
+
+    def test_random_tuples_arity(self):
+        rows = random_tuples(5, 8, arity=3, seed=2)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_reflexive_exit(self):
+        rows = reflexive_exit(2, arity=3)
+        assert ("n0", "n0", "n0") in rows
+        assert len(rows) == 3
+
+
+class TestEdbBuilders:
+    def test_random_edb_covers_all_predicates(self):
+        system = CATALOGUE["s12"].system()
+        db = random_edb(system, nodes=5, tuples_per_relation=6, seed=0)
+        assert set(db.relation_names) == {"A", "B", "C", "D", "P__exit"}
+
+    def test_random_edb_respects_arity(self):
+        system = CATALOGUE["s8"].system()
+        db = random_edb(system, seed=0)
+        assert db.arity("P__exit") == 4
+        assert db.arity("A") == 2
+
+    def test_chain_edb_binary_relations_share_chain(self):
+        system = CATALOGUE["s2a"].system()
+        db = chain_edb(system, 5)
+        assert db.rows("A") == db.rows("B")
+        assert db.count("A") == 5
+
+    def test_chain_edb_reflexive_exit(self):
+        system = CATALOGUE["s1a"].system()
+        db = chain_edb(system, 4)
+        assert ("n0", "n0") in db.rows("P__exit")
+        assert db.count("P__exit") == 5
+
+    def test_chain_edb_unary_relations_cover_nodes(self):
+        system = CATALOGUE["s10"].system()
+        db = chain_edb(system, 3)
+        assert db.count("B") == 4
+
+
+class TestCatalogue:
+    def test_paper_order_complete(self):
+        assert len(PAPER_ORDER) == 13
+        assert all(name in CATALOGUE for name in PAPER_ORDER)
+
+    def test_every_entry_parses_and_classifies(self, catalogue_entry):
+        system = catalogue_entry.system()
+        assert classify(system) is not None
+
+    def test_paper_systems_returns_fresh_objects(self):
+        first = paper_systems()
+        second = paper_systems()
+        assert first.keys() == second.keys()
+        assert first["s3"] is not second["s3"]
+
+    def test_extras_are_stable_recursions(self):
+        anc = classify(parse_rule(EXTRAS["ancestor"]))
+        sg = classify(parse_rule(EXTRAS["same_generation"]))
+        assert anc.is_strongly_stable
+        assert sg.is_strongly_stable
+
+    def test_query_forms_match_arity(self, catalogue_entry):
+        system = catalogue_entry.system()
+        for form in catalogue_entry.query_forms:
+            assert len(form) == system.dimension
