@@ -1,0 +1,123 @@
+"""PERF: set-at-a-time join plans vs tuple-at-a-time backtracking.
+
+The semi-naive fixpoint is run twice on each generator workload — once
+through the compiled hash-join kernel (the default), once through the
+per-delta-tuple backtracking solver (``set_at_a_time=False``) — with
+identical answer sets asserted before any timing is trusted.  The
+headline claim: ≥3× wall-clock on a transitive-closure (class A1)
+workload at 10k+ EDB rows, where the per-tuple interpreter overhead
+dominates.  Results land in ``benchmarks/output/BENCH_setjoin.json``
+(uploaded as a CI artifact) plus the usual text table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core import text_table
+from repro.datalog.parser import parse_system
+from repro.engine import EvaluationStats, SemiNaiveEngine
+from repro.ra import Database
+from repro.workloads import grid, random_digraph
+
+TC_SYSTEM_TEXT = "P(x, y) :- A(x, z), P(z, y)."  # the paper's (s1a), class A1
+TARGET_SPEEDUP = 3.0
+
+
+def _parallel_chains(chains: int, length: int) -> list[tuple]:
+    """*chains* disjoint chains of *length* edges — 10k+ EDB rows with
+    a closure that stays linear in the input (unlike one long chain)."""
+    edges: list[tuple] = []
+    for c in range(chains):
+        edges.extend((f"c{c}_n{i}", f"c{c}_n{i + 1}")
+                     for i in range(length))
+    return edges
+
+
+def _tc_database(edges: list[tuple]) -> Database:
+    nodes = sorted({n for edge in edges for n in edge})
+    return Database.from_dict({"A": edges,
+                               "P__exit": [(n, n) for n in nodes]})
+
+
+def _time_engine(engine: SemiNaiveEngine, system, db,
+                 repeats: int = 2) -> tuple[float, frozenset, EvaluationStats]:
+    best = float("inf")
+    answers, stats = frozenset(), EvaluationStats()
+    for _ in range(repeats):
+        run_stats = EvaluationStats()
+        started = time.perf_counter()
+        answers = engine.evaluate(system, db, stats=run_stats)
+        best = min(best, time.perf_counter() - started)
+        stats = run_stats
+    return best, answers, stats
+
+
+def _measure(name: str, system, db) -> dict:
+    set_s, set_answers, set_stats = _time_engine(
+        SemiNaiveEngine(set_at_a_time=True), system, db)
+    tuple_s, tuple_answers, _ = _time_engine(
+        SemiNaiveEngine(set_at_a_time=False), system, db)
+    assert set_answers == tuple_answers, f"{name}: answer sets differ"
+    return {
+        "workload": name,
+        "edb_rows": db.total_facts(),
+        "answers": len(set_answers),
+        "rounds": set_stats.rounds,
+        "tuple_at_a_time_s": round(tuple_s, 4),
+        "set_at_a_time_s": round(set_s, 4),
+        "speedup": round(tuple_s / max(set_s, 1e-9), 2),
+        "batch_sizes": set_stats.batch_sizes,
+        "hash_builds": set_stats.hash_builds,
+        "plan_cache": {"hits": set_stats.plan_cache_hits,
+                       "misses": set_stats.plan_cache_misses},
+    }
+
+
+def test_setjoin_speedup(save_artifact, artifact_dir):
+    system = parse_system(TC_SYSTEM_TEXT)
+    points = [
+        ("tc-chains-10k", _tc_database(_parallel_chains(1250, 8))),
+        ("tc-chains-20k", _tc_database(_parallel_chains(2500, 8))),
+        ("tc-grid-30x30", _tc_database(grid(30, 30))),
+        ("tc-random-2k", _tc_database(
+            random_digraph(1000, 2000, seed=3))),
+    ]
+    results = [_measure(name, system, db) for name, db in points]
+
+    headline = results[0]
+    assert headline["edb_rows"] >= 10_000
+    assert headline["speedup"] >= TARGET_SPEEDUP, (
+        f"set-at-a-time only {headline['speedup']}x on the 10k TC "
+        f"workload (target {TARGET_SPEEDUP}x)")
+    # nowhere may the new default be slower than the old path
+    for point in results:
+        assert point["speedup"] >= 1.0, point
+
+    payload = {
+        "bench": "setjoin",
+        "engine": "semi-naive",
+        "target_speedup": TARGET_SPEEDUP,
+        "results": results,
+    }
+    (artifact_dir / "BENCH_setjoin.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_artifact("perf_setjoin", text_table(
+        ["workload", "EDB rows", "answers", "tuple s", "set s",
+         "speedup"],
+        [[p["workload"], p["edb_rows"], p["answers"],
+          p["tuple_at_a_time_s"], p["set_at_a_time_s"],
+          f"{p['speedup']}x"] for p in results]))
+
+
+def test_hash_tables_built_once_per_fixpoint():
+    """The delta rounds reuse one cached hash table per (relation,
+    key) — the whole point of versioned caching."""
+    system = parse_system(TC_SYSTEM_TEXT)
+    db = _tc_database(_parallel_chains(100, 8))
+    stats = EvaluationStats()
+    SemiNaiveEngine().evaluate(system, db, stats=stats)
+    assert stats.rounds > 2
+    # one table for A keyed on column 0 (the join), one for the exits
+    assert stats.hash_builds <= 2

@@ -11,9 +11,11 @@ from .conjunctive import (Binding, pattern_of, satisfiable, solve,
                           solve_project)
 from .naive import NaiveEngine
 from .incremental import MaterializedRecursion
+from .plan import JoinPlan, JoinStep, compile_plan
 from .provenance import Derivation, explain_answer
 from .query import Query
 from .seminaive import SemiNaiveEngine
+from .setjoin import apply_rule, execute_plan, join_batch
 from .topdown import TopDownEngine
 from .stats import EvaluationStats
 
@@ -22,8 +24,10 @@ ALL_ENGINES = (NaiveEngine, SemiNaiveEngine, CompiledEngine,
 
 __all__ = [
     "ALL_ENGINES", "Binding", "CompiledEngine", "EvaluationStats",
-    "NaiveEngine", "Query", "SemiNaiveEngine", "pattern_of",
+    "JoinPlan", "JoinStep", "NaiveEngine", "Query", "SemiNaiveEngine",
+    "pattern_of",
     "TopDownEngine", "Derivation", "MaterializedRecursion",
-    "explain_answer",
+    "apply_rule", "compile_plan", "execute_plan", "explain_answer",
+    "join_batch",
     "satisfiable", "solve", "solve_project",
 ]

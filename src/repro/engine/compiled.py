@@ -37,6 +37,7 @@ from ..graphs.igraph import build_igraph
 from ..ra.database import Database
 from .conjunctive import satisfiable, solve, solve_project
 from .query import Query
+from .setjoin import apply_rule
 from .stats import EvaluationStats
 
 
@@ -56,9 +57,18 @@ def _product_rows(pattern: tuple,
 
 
 class CompiledEngine:
-    """Evaluate queries using the classification's compiled strategy."""
+    """Evaluate queries using the classification's compiled strategy.
+
+    ``set_at_a_time`` selects the execution discipline of the
+    ITERATIVE strategy's fixpoint loop (compiled hash-join plans by
+    default); the bounded/stable strategies are frontier walks over
+    single bindings and keep the tuple-at-a-time solver.
+    """
 
     name = "compiled"
+
+    def __init__(self, set_at_a_time: bool = True) -> None:
+        self.set_at_a_time = set_at_a_time
 
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query, stats: EvaluationStats | None = None,
@@ -269,13 +279,18 @@ class CompiledEngine:
         recursive_vars = rule.recursive_atom.args
         head_args = rule.head.args
         while delta:
-            new: set[tuple] = set()
-            for row in delta:
-                binding = {term: value for term, value
-                           in zip(recursive_vars, row)}
-                new |= {derived for derived in solve_project(
-                    edb, body_rest, head_args, binding, stats=stats)
-                    if relevant(derived)}
+            if self.set_at_a_time:
+                new = {derived for derived in apply_rule(
+                    edb, body_rest, recursive_vars, head_args, delta,
+                    stats) if relevant(derived)}
+            else:
+                new = set()
+                for row in delta:
+                    binding = {term: value for term, value
+                               in zip(recursive_vars, row)}
+                    new |= {derived for derived in solve_project(
+                        edb, body_rest, head_args, binding, stats=stats)
+                        if relevant(derived)}
             delta = new - total
             total |= delta
             stats.record_round(len(delta))

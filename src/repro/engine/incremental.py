@@ -28,6 +28,7 @@ from ..datalog.terms import Variable
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .seminaive import SemiNaiveEngine
+from .setjoin import apply_rule
 from .stats import EvaluationStats
 
 
@@ -104,12 +105,8 @@ class MaterializedRecursion:
         recursive_vars = recursive.recursive_atom.args
         head_args = recursive.head.args
         while delta:
-            new: set[tuple] = set()
-            for sub in delta:
-                binding = {term: value for term, value
-                           in zip(recursive_vars, sub)}
-                new |= solve_project(self._db, body_rest, head_args,
-                                     binding, stats=self.stats)
+            new = apply_rule(self._db, body_rest, recursive_vars,
+                             head_args, delta, self.stats)
             delta = new - self._total
             added |= delta
             self._total |= delta

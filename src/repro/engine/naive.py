@@ -12,13 +12,25 @@ from ..datalog.program import Program, RecursionSystem
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
+from .setjoin import apply_rule
 from .stats import EvaluationStats
 
 
 class NaiveEngine:
-    """Round-robin naive fixpoint over all rules."""
+    """Round-robin naive fixpoint over all rules.
+
+    ``set_at_a_time`` selects the execution discipline for each rule
+    application: compiled hash-join plans (default) or the
+    tuple-at-a-time backtracking solver (for ablations).  Naive
+    evaluation stays deliberately wasteful either way — every round
+    re-joins the whole database — only the per-round join mechanics
+    change.
+    """
 
     name = "naive"
+
+    def __init__(self, set_at_a_time: bool = True) -> None:
+        self.set_at_a_time = set_at_a_time
 
     def evaluate(self, system: RecursionSystem | Program, edb: Database,
                  query: Query | None = None,
@@ -48,8 +60,12 @@ class NaiveEngine:
         while True:
             new_tuples = 0
             for rule in program.rules:
-                derived = solve_project(database, rule.body,
-                                        rule.head.args, stats=stats)
+                if self.set_at_a_time:
+                    derived = apply_rule(database, rule.body, (),
+                                         rule.head.args, [()], stats)
+                else:
+                    derived = solve_project(database, rule.body,
+                                            rule.head.args, stats=stats)
                 for row in derived:
                     new_tuples += database.add(rule.head.predicate, row)
             stats.record_round(new_tuples)

@@ -6,6 +6,17 @@ round's new tuples through the recursive rule's body.  Round r derives
 exactly the depth-r tuples, so the per-round delta sizes expose the
 *measured rank* of a formula on a concrete database — the quantity the
 paper's boundedness results (Ioannidis's theorem, Theorem 10) bound.
+
+Two execution disciplines share the delta loop:
+
+* **set-at-a-time** (the default): the rule body is compiled once into
+  a :class:`~repro.engine.plan.JoinPlan` and the whole delta relation
+  is pushed through cached hash joins per round;
+* **tuple-at-a-time** (``set_at_a_time=False``): the original
+  per-delta-tuple backtracking search, kept for ablations.
+
+Both produce identical per-round deltas (property-tested), so every
+rank/boundedness measurement is unaffected by the flag.
 """
 
 from __future__ import annotations
@@ -15,13 +26,25 @@ from ..datalog.terms import Variable
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
+from .setjoin import apply_rule
 from .stats import EvaluationStats
 
 
 class SemiNaiveEngine:
-    """Delta-driven fixpoint for one linear recursion system."""
+    """Delta-driven fixpoint for one linear recursion system.
+
+    Parameters
+    ----------
+    set_at_a_time:
+        When True (default), execute rule bodies through the compiled
+        set-at-a-time join kernel; when False, fall back to the
+        tuple-at-a-time backtracking solver.
+    """
 
     name = "semi-naive"
+
+    def __init__(self, set_at_a_time: bool = True) -> None:
+        self.set_at_a_time = set_at_a_time
 
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query | None = None,
@@ -50,8 +73,12 @@ class SemiNaiveEngine:
         # Round 0: exit rules over the EDB.
         total: set[tuple] = set()
         for exit_rule in system.exits:
-            total |= solve_project(database, exit_rule.body,
-                                   exit_rule.head.args, stats=stats)
+            if self.set_at_a_time:
+                total |= apply_rule(database, exit_rule.body, (),
+                                    exit_rule.head.args, [()], stats)
+            else:
+                total |= solve_project(database, exit_rule.body,
+                                       exit_rule.head.args, stats=stats)
         delta = set(total)
         stats.record_round(len(delta))
 
@@ -64,20 +91,13 @@ class SemiNaiveEngine:
             if max_rounds is not None and rounds >= max_rounds:
                 break
             rounds += 1
-            new: set[tuple] = set()
-            for row in delta:
-                binding: dict[Variable, object] = {}
-                consistent = True
-                for term, value in zip(recursive_vars, row):
-                    assert isinstance(term, Variable)
-                    if binding.get(term, value) != value:
-                        consistent = False
-                        break
-                    binding[term] = value
-                if not consistent:
-                    continue
-                new |= solve_project(database, body_rest, head_args,
-                                     binding, stats=stats)
+            if self.set_at_a_time:
+                new = apply_rule(database, body_rest, recursive_vars,
+                                 head_args, delta, stats)
+            else:
+                new = self._tuple_at_a_time_round(
+                    database, body_rest, recursive_vars, head_args,
+                    delta, stats)
             delta = new - total
             total |= delta
             stats.record_round(len(delta))
@@ -87,6 +107,28 @@ class SemiNaiveEngine:
             answers = query.filter(answers)
         stats.answers = len(answers)
         return answers
+
+    @staticmethod
+    def _tuple_at_a_time_round(database: Database, body_rest,
+                               recursive_vars, head_args,
+                               delta: set[tuple],
+                               stats: EvaluationStats) -> set[tuple]:
+        """One delta round via the per-tuple backtracking solver."""
+        new: set[tuple] = set()
+        for row in delta:
+            binding: dict[Variable, object] = {}
+            consistent = True
+            for term, value in zip(recursive_vars, row):
+                assert isinstance(term, Variable)
+                if binding.get(term, value) != value:
+                    consistent = False
+                    break
+                binding[term] = value
+            if not consistent:
+                continue
+            new |= solve_project(database, body_rest, head_args,
+                                 binding, stats=stats)
+        return new
 
     def measured_rank(self, system: RecursionSystem,
                       edb: Database) -> int:

@@ -23,6 +23,13 @@ class EvaluationStats:
     derived: int = 0
     answers: int = 0
     delta_sizes: list[int] = field(default_factory=list)
+    #: join-plan compilations served from / missing the plan cache
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: hash tables built by the set-at-a-time kernel on our behalf
+    hash_builds: int = 0
+    #: bindings entering the set-at-a-time kernel, one entry per batch
+    batch_sizes: list[int] = field(default_factory=list)
 
     def record_round(self, new_tuples: int) -> None:
         """Log one fixpoint round and its new-tuple count."""
@@ -43,13 +50,23 @@ class EvaluationStats:
                 last = index
         return last
 
+    def record_batch(self, size: int) -> None:
+        """Log one set-at-a-time batch and its binding count."""
+        self.batch_sizes.append(size)
+
     def merge(self, other: "EvaluationStats") -> None:
         """Fold *other*'s counters into this one (sub-evaluations)."""
         self.rounds += other.rounds
         self.probes += other.probes
         self.derived += other.derived
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.hash_builds += other.hash_builds
+        self.batch_sizes.extend(other.batch_sizes)
 
     def summary(self) -> str:
         """One-line rendering for bench output."""
         return (f"{self.engine}: rounds={self.rounds} probes={self.probes} "
-                f"derived={self.derived} answers={self.answers}")
+                f"derived={self.derived} answers={self.answers} "
+                f"plans={self.plan_cache_hits}h/{self.plan_cache_misses}m "
+                f"hash_builds={self.hash_builds}")

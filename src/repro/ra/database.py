@@ -4,6 +4,18 @@ A :class:`Database` stores the EDB (and, during bottom-up evaluation,
 the IDB) as mutable sets of tuples keyed by predicate name, with
 per-position hash indexes built lazily and invalidated on insertion —
 the access-path layer every engine shares.
+
+Two kinds of access path coexist:
+
+* per-position indexes (``_index``) backing tuple-at-a-time
+  :meth:`match` probes;
+* multi-column hash tables (:meth:`hash_table`) backing the
+  set-at-a-time join plans of :mod:`repro.engine.setjoin`, keyed by an
+  arbitrary column combination and invalidated by a per-relation
+  version counter.
+
+Bulk loads bump the version once per call instead of once per row, so
+a 10k-row load invalidates each derived structure a single time.
 """
 
 from __future__ import annotations
@@ -36,10 +48,24 @@ class Database:
         self._relations: dict[str, set[tuple]] = {}
         self._arities: dict[str, int] = {}
         self._indexes: dict[tuple[str, int], dict[object, set[tuple]]] = {}
+        #: per-relation mutation counters; derived structures snapshot
+        #: the counter at build time and are stale when it moved on
+        self._versions: dict[str, int] = {}
+        #: multi-column hash tables for the set-at-a-time join kernel,
+        #: keyed by (relation, key-columns) → (version, key → row list)
+        self._hash_tables: dict[tuple[str, tuple[int, ...]],
+                                tuple[int, dict]] = {}
+        #: >0 while inside :meth:`bulk`: index/version upkeep deferred
+        self._bulk_depth = 0
         #: when False, `match` falls back to full scans (for ablations)
         self.indexed = indexed
         #: rows examined while matching (indexes make this ≈ answers)
         self.touches = 0
+        #: lazy per-position index (re)builds — regressions in bulk
+        #: loading show up here as a rebuild count ≈ row count
+        self.index_rebuilds = 0
+        #: hash tables built for the set-at-a-time join kernel
+        self.hash_builds = 0
 
     # -- construction --------------------------------------------------
 
@@ -94,17 +120,37 @@ class Database:
         if row in rows:
             return False
         rows.add(row)
+        if self._bulk_depth:
+            return True  # bulk() invalidates once at the end
+        self._versions[name] = self._versions.get(name, 0) + 1
         for (indexed_name, position), index in self._indexes.items():
             if indexed_name == name:
                 index.setdefault(row[position], set()).add(row)
         return True
 
     def bulk(self, name: str, rows: Iterable[tuple]) -> int:
-        """Insert many rows; returns the number actually new."""
+        """Insert many rows; returns the number actually new.
+
+        Index and version upkeep is batched: one version bump and one
+        index invalidation per call, however many rows arrive, instead
+        of per-row maintenance in :meth:`add`.
+        """
         added = 0
-        for row in rows:
-            added += self.add(name, row)
+        self._bulk_depth += 1
+        try:
+            for row in rows:
+                added += self.add(name, row)
+        finally:
+            self._bulk_depth -= 1
+            if added and not self._bulk_depth:
+                self._versions[name] = self._versions.get(name, 0) + 1
+                for key in [k for k in self._indexes if k[0] == name]:
+                    del self._indexes[key]
         return added
+
+    def version(self, name: str) -> int:
+        """Mutation counter of the relation (0 when never touched)."""
+        return self._versions.get(name, 0)
 
     def declare(self, name: str, arity: int) -> None:
         """Register an (initially empty) relation with known arity."""
@@ -143,7 +189,40 @@ class Database:
             for row in self._relations.get(name, ()):
                 index.setdefault(row[position], set()).add(row)
             self._indexes[key] = index
+            self.index_rebuilds += 1
         return index
+
+    def hash_table(self, name: str, key_positions: tuple[int, ...]
+                   ) -> dict:
+        """The rows of *name* hashed by the *key_positions* columns.
+
+        The table maps key → list of full rows; a single-column key is
+        stored unwrapped (``row[p]``), a multi-column key as a tuple,
+        and the empty key groups every row under ``()``.  Tables are
+        cached against the relation's version counter, so a semi-naive
+        fixpoint builds each (relation, key) table exactly once however
+        many rounds it runs.
+        """
+        cache_key = (name, key_positions)
+        version = self._versions.get(name, 0)
+        entry = self._hash_tables.get(cache_key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        table: dict = {}
+        rows = self._relations.get(name, ())
+        if not key_positions:
+            table[()] = list(rows)
+        elif len(key_positions) == 1:
+            position = key_positions[0]
+            for row in rows:
+                table.setdefault(row[position], []).append(row)
+        else:
+            for row in rows:
+                table.setdefault(
+                    tuple(row[p] for p in key_positions), []).append(row)
+        self._hash_tables[cache_key] = (version, table)
+        self.hash_builds += 1
+        return table
 
     def match(self, name: str, pattern: Pattern) -> Iterator[tuple]:
         """All rows matching *pattern* (None entries are wildcards).
