@@ -1,0 +1,123 @@
+"""Compare fresh benchmark artifacts against committed baselines.
+
+Each ``BENCH_*.json`` under ``benchmarks/baselines/`` is matched by
+file name against the artifacts a benchmark run left in
+``benchmarks/output/``, and every baseline workload's ``speedup`` is
+compared with the current one.  The speedup is a ratio of two timings
+taken on the *same* machine in the *same* run, so it transfers across
+hardware in a way raw seconds never could; a drop of more than
+``--threshold`` (default 25%) is a regression.
+
+Prints a GitHub-flavoured markdown table (pipe it into
+``$GITHUB_STEP_SUMMARY`` in CI) and exits non-zero when any workload
+regressed or went missing.  Workloads that only exist in the current
+run are reported as ``new`` and never fail the gate — adding a
+benchmark should not require touching the baselines in the same
+commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+OK = "ok"
+NEW = "new"
+REGRESSION = "**regression**"
+MISSING = "**missing**"
+
+
+def compare_results(baseline: dict, current: dict | None,
+                    threshold: float) -> list[dict]:
+    """Per-workload comparison rows for one benchmark pair.
+
+    >>> base = {"bench": "b", "results": [{"workload": "w", "speedup": 4.0}]}
+    >>> cur = {"bench": "b", "results": [{"workload": "w", "speedup": 3.5}]}
+    >>> compare_results(base, cur, 0.25)[0]["status"]
+    'ok'
+    >>> cur["results"][0]["speedup"] = 2.9
+    >>> compare_results(base, cur, 0.25)[0]["status"]
+    '**regression**'
+    """
+    current_by_name = {} if current is None else {
+        r["workload"]: r for r in current.get("results", [])}
+    rows = []
+    for entry in baseline.get("results", []):
+        name = entry["workload"]
+        was = entry["speedup"]
+        now_entry = current_by_name.pop(name, None)
+        if now_entry is None:
+            rows.append({"bench": baseline["bench"], "workload": name,
+                         "baseline": was, "current": None,
+                         "status": MISSING})
+            continue
+        now = now_entry["speedup"]
+        regressed = now < was * (1.0 - threshold)
+        rows.append({"bench": baseline["bench"], "workload": name,
+                     "baseline": was, "current": now,
+                     "status": REGRESSION if regressed else OK})
+    for name, entry in sorted(current_by_name.items()):
+        rows.append({"bench": baseline["bench"], "workload": name,
+                     "baseline": None, "current": entry["speedup"],
+                     "status": NEW})
+    return rows
+
+
+def markdown_table(rows: list[dict]) -> str:
+    """The comparison as a GitHub-flavoured markdown table."""
+    def fmt(value):
+        return "—" if value is None else f"{value:.2f}x"
+
+    def delta(row):
+        if row["baseline"] and row["current"] is not None:
+            return f"{row['current'] / row['baseline'] - 1.0:+.0%}"
+        return "—"
+
+    lines = ["| bench | workload | baseline | current | change | status |",
+             "|---|---|---:|---:|---:|---|"]
+    lines += [f"| {r['bench']} | {r['workload']} | {fmt(r['baseline'])} "
+              f"| {fmt(r['current'])} | {delta(r)} | {r['status']} |"
+              for r in rows]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", type=Path,
+                        default=HERE / "baselines")
+    parser.add_argument("--current", type=Path, default=HERE / "output")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional speedup drop "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no baselines under {args.baselines}", file=sys.stderr)
+        return 1
+
+    rows: list[dict] = []
+    for path in baseline_files:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        current_path = args.current / path.name
+        current = (json.loads(current_path.read_text(encoding="utf-8"))
+                   if current_path.exists() else None)
+        rows.extend(compare_results(baseline, current, args.threshold))
+
+    print(f"## Benchmark regression gate (threshold "
+          f"-{args.threshold:.0%})\n")
+    print(markdown_table(rows))
+    bad = [r for r in rows if r["status"] in (REGRESSION, MISSING)]
+    if bad:
+        print(f"\n{len(bad)} workload(s) regressed or missing.")
+        return 1
+    print("\nAll workloads within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""PERF: sharded parallel fixpoint vs the sequential set-at-a-time path.
+
+The semi-naive fixpoint is run three ways on 10k–20k-row
+transitive-closure workloads — sequentially (the PR 1 kernel), through
+the deterministic in-process sharder (``workers=0``), and across a
+4-worker process pool — with identical answer sets asserted before any
+timing is trusted.  The headline claim, ≥1.8× wall-clock with 4
+workers on the 20k-row 3-hop workload (the catalogue's
+``compressed_chain`` shape, where join work dominates shipping cost),
+is asserted only when the machine
+actually has 4 cores to offer (CI runners do; a 1-core container
+cannot parallelize anything and merely records its numbers).  Results
+land in ``benchmarks/output/BENCH_sharded.json``, uploaded as a CI
+artifact and compared against ``benchmarks/baselines/`` by the
+bench-regression job.
+"""
+
+import json
+import os
+import time
+
+from repro.core import text_table
+from repro.datalog.parser import parse_system
+from repro.engine import (EvaluationStats, SemiNaiveEngine,
+                          ShardedSemiNaiveEngine)
+from repro.ra import Database
+from repro.workloads import CATALOGUE, random_edb
+
+TC_SYSTEM_TEXT = "P(x, y) :- A(x, z), P(z, y)."  # the paper's (s1a), class A1
+#: The catalogue's ``compressed_chain`` shape (class A5): transitive
+#: closure through a composed three-relation edge.  Three probes and a
+#: branching extend per delta row make each shipped byte buy ~10x the
+#: join work of plain TC — the workload where sharding should shine.
+THREE_HOP_TEXT = "P(x, y) :- A(x, m), B(m, n), C(n, z), P(z, y)."
+WORKERS = 4
+TARGET_SPEEDUP = 1.8
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def _parallel_chains(chains: int, length: int) -> list[tuple]:
+    """*chains* disjoint chains of *length* edges — 10k+ EDB rows with
+    a closure that stays linear in the input (unlike one long chain)."""
+    edges: list[tuple] = []
+    for c in range(chains):
+        edges.extend((f"c{c}_n{i}", f"c{c}_n{i + 1}")
+                     for i in range(length))
+    return edges
+
+
+def _tc_database(edges: list[tuple]) -> Database:
+    nodes = sorted({n for edge in edges for n in edge})
+    return Database.from_dict({"A": edges,
+                               "P__exit": [(n, n) for n in nodes]})
+
+
+def _layered_3hop_database(width: int, levels: int,
+                           branching: int = 3) -> Database:
+    """A layered DAG for the 3-hop rule: *levels* edge layers of
+    *width* nodes, layer ``l`` stored in relation A/B/C by ``l % 3``,
+    each node feeding *branching* nodes of the next layer.  A delta row
+    fans out through branching**3 converging A-B-C paths, so join work
+    dominates shipping cost — the regime the issue's 1.8x claim is
+    about.  Exits sit on the A-aligned levels only: every shipped row
+    can actually derive."""
+    relations: dict[str, list[tuple]] = {"A": [], "B": [], "C": []}
+    for level in range(levels):
+        rows = relations["ABC"[level % 3]]
+        for col in range(width):
+            src = f"l{level}_c{col}"
+            rows.extend((src, f"l{level + 1}_c{(col + b) % width}")
+                        for b in range(branching))
+    exits = [(f"l{level}_c{col}",) * 2
+             for level in range(0, levels + 1, 3) for col in range(width)]
+    return Database.from_dict({**relations, "P__exit": exits})
+
+
+def _time_engine(engine, system, db, repeats: int = 2):
+    best = float("inf")
+    answers, stats = frozenset(), EvaluationStats()
+    for _ in range(repeats):
+        run_stats = EvaluationStats()
+        started = time.perf_counter()
+        answers = engine.evaluate(system, db, stats=run_stats)
+        best = min(best, time.perf_counter() - started)
+        stats = run_stats
+    return best, answers, stats
+
+
+def _measure(name: str, system, db) -> dict:
+    seq_s, seq_answers, seq_stats = _time_engine(
+        SemiNaiveEngine(), system, db)
+    zero_s, zero_answers, _ = _time_engine(
+        ShardedSemiNaiveEngine(workers=0), system, db)
+    par_s, par_answers, par_stats = _time_engine(
+        ShardedSemiNaiveEngine(workers=WORKERS), system, db)
+    assert par_answers == seq_answers, f"{name}: pool answers differ"
+    assert zero_answers == seq_answers, f"{name}: workers=0 differs"
+    assert par_stats.pool_fallbacks == 0, f"{name}: pool fell back"
+    return {
+        "workload": name,
+        "edb_rows": db.total_facts(),
+        "answers": len(seq_answers),
+        "rounds": seq_stats.rounds,
+        "sequential_s": round(seq_s, 4),
+        "inprocess_sharded_s": round(zero_s, 4),
+        "workers": WORKERS,
+        "sharded_s": round(par_s, 4),
+        "speedup": round(seq_s / max(par_s, 1e-9), 2),
+        "shard_counts": par_stats.shard_counts,
+        "max_skew": round(max(par_stats.shard_skew), 3)
+        if par_stats.shard_skew else None,
+        "pool_round_trip_s": round(par_stats.pool_round_trip_s, 4),
+    }
+
+
+def test_sharded_speedup(save_artifact, artifact_dir):
+    tc_system = parse_system(TC_SYSTEM_TEXT)
+    hop_system = parse_system(THREE_HOP_TEXT)
+    points = [
+        ("tc-chains-10k", tc_system,
+         _tc_database(_parallel_chains(1250, 8))),
+        ("tc-chains-20k", tc_system,
+         _tc_database(_parallel_chains(2500, 8))),
+        ("tc-3hop-20k", hop_system, _layered_3hop_database(555, 12)),
+    ]
+    results = [_measure(name, system, db)
+               for name, system, db in points]
+
+    cpus = _cpus()
+    asserted = cpus >= WORKERS
+    if asserted:
+        headline = results[-1]
+        assert headline["edb_rows"] >= 20_000
+        assert headline["speedup"] >= TARGET_SPEEDUP, (
+            f"sharded only {headline['speedup']}x with {WORKERS} "
+            f"workers on the 20k-row 3-hop TC workload "
+            f"(target {TARGET_SPEEDUP}x on {cpus} cores)")
+
+    payload = {
+        "bench": "sharded",
+        "engine": "sharded",
+        "workers": WORKERS,
+        "cpus": cpus,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_asserted": asserted,
+        "results": results,
+    }
+    (artifact_dir / "BENCH_sharded.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_artifact("perf_sharded", text_table(
+        ["workload", "EDB rows", "answers", "seq s", "w=0 s",
+         f"w={WORKERS} s", "speedup", "skew"],
+        [[p["workload"], p["edb_rows"], p["answers"],
+          p["sequential_s"], p["inprocess_sharded_s"], p["sharded_s"],
+          f"{p['speedup']}x", p["max_skew"]] for p in results]))
+
+
+def test_workers0_matches_seminaive_on_catalogue():
+    """The acceptance bar: the deterministic executor reproduces the
+    sequential engine exactly — answers and per-round deltas — on the
+    full paper catalogue."""
+    for name in sorted(CATALOGUE):
+        system = CATALOGUE[name].system()
+        db = random_edb(system, nodes=6, tuples_per_relation=8, seed=0)
+        seq_stats, sh_stats = EvaluationStats(), EvaluationStats()
+        sequential = SemiNaiveEngine().evaluate(system, db,
+                                                stats=seq_stats)
+        sharded = ShardedSemiNaiveEngine(workers=0).evaluate(
+            system, db, stats=sh_stats)
+        assert sharded == sequential, name
+        assert sh_stats.delta_sizes == seq_stats.delta_sizes, name

@@ -33,6 +33,7 @@ from .engine.compiled import CompiledEngine
 from .engine.naive import NaiveEngine
 from .engine.query import Query
 from .engine.seminaive import SemiNaiveEngine
+from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .engine.topdown import TopDownEngine
 from .engine.provenance import explain_answer
@@ -41,7 +42,8 @@ from .graphs.resolution import resolution_graph
 from .ra.database import Database
 
 _ENGINES = {"naive": NaiveEngine, "semi-naive": SemiNaiveEngine,
-            "compiled": CompiledEngine, "top-down": TopDownEngine}
+            "compiled": CompiledEngine, "top-down": TopDownEngine,
+            "sharded": ShardedSemiNaiveEngine}
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -166,7 +168,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         queries = [Query.from_atom(goal) for goal in program.queries]
     else:
         queries = [Query.all_free(system.predicate, system.dimension)]
-    engine = _ENGINES[args.engine]()
+    if args.workers is not None and args.engine not in ("semi-naive",
+                                                        "sharded"):
+        print("error: --workers applies to --engine sharded or "
+              "semi-naive only", file=sys.stderr)
+        return 2
+    if args.engine == "sharded" or args.workers is not None:
+        engine = ShardedSemiNaiveEngine(workers=args.workers or 0)
+    else:
+        engine = _ENGINES[args.engine]()
     for query in queries:
         stats = EvaluationStats()
         answers = engine.evaluate(system, db, query, stats)
@@ -263,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--query", help="e.g. 'P(a, Y)'")
     p_run.add_argument("--engine", choices=sorted(_ENGINES),
                        default="compiled")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="shard the fixpoint across N worker "
+                            "processes (0 = in-process sharding); "
+                            "implies the sharded engine")
     p_run.set_defaults(func=_cmd_run)
     return parser
 

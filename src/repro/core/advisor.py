@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from ..datalog.program import RecursionSystem
 from .bindings import (Adornment, BindingSequence, adornment_to_string,
-                       all_adornments, binding_sequence)
+                       all_adornments)
 from .classes import Boundedness
 from .classifier import Classification, classify
 from .compile import Strategy, compile_query

@@ -33,12 +33,12 @@ from dataclasses import dataclass
 
 from ..datalog.atoms import Atom
 from ..datalog.program import RecursionSystem
-from ..datalog.rules import RecursiveRule, Rule
+from ..datalog.rules import Rule
 from ..datalog.terms import Variable
 from ..graphs.components import components
 from .bindings import (Adornment, BindingSequence, adornment_from_string,
                        adornment_to_string, binding_sequence)
-from .classes import Boundedness, ComponentClass
+from .classes import Boundedness
 from .classifier import Classification, classify
 from .plans import (Branches, Exists, JoinChain, PlanNode, Power, Product,
                     Rel, Select, Steps, UnionOverK, render)

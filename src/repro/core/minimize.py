@@ -23,7 +23,7 @@ parallel undirected paths collapse — classification never gets worse.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from ..datalog.atoms import Atom
 from ..datalog.program import RecursionSystem

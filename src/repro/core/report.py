@@ -12,7 +12,7 @@ from ..datalog.program import RecursionSystem
 from ..datalog.pretty import format_rule
 from ..graphs.render import ascii_figure, ascii_reduced
 from .bindings import adornment_from_string
-from .classifier import Classification, classify
+from .classifier import classify
 from .compile import compile_query
 from .stability import stability_report
 

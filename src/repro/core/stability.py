@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from ..datalog.rules import RecursiveRule, Rule
 from ..graphs.igraph import build_igraph
-from .bindings import (Adornment, adornment_to_string, all_adornments,
+from .bindings import (adornment_to_string, all_adornments,
                        body_adornment)
 from .classifier import Classification, classify
 

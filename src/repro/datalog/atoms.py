@@ -8,7 +8,7 @@ rule bodies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from .terms import Constant, Term, Variable

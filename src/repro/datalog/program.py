@@ -9,7 +9,7 @@ the stable-transformation of Theorem 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .atoms import Atom

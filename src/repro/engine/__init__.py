@@ -11,11 +11,13 @@ from .conjunctive import (Binding, pattern_of, satisfiable, solve,
                           solve_project)
 from .naive import NaiveEngine
 from .incremental import MaterializedRecursion
+from .partition import partition_rows, probe_key_positions
 from .plan import JoinPlan, JoinStep, compile_plan
 from .provenance import Derivation, explain_answer
 from .query import Query
 from .seminaive import SemiNaiveEngine
 from .setjoin import apply_rule, execute_plan, join_batch
+from .sharded import ShardedSemiNaiveEngine
 from .topdown import TopDownEngine
 from .stats import EvaluationStats
 
@@ -25,7 +27,8 @@ ALL_ENGINES = (NaiveEngine, SemiNaiveEngine, CompiledEngine,
 __all__ = [
     "ALL_ENGINES", "Binding", "CompiledEngine", "EvaluationStats",
     "JoinPlan", "JoinStep", "NaiveEngine", "Query", "SemiNaiveEngine",
-    "pattern_of",
+    "ShardedSemiNaiveEngine",
+    "pattern_of", "partition_rows", "probe_key_positions",
     "TopDownEngine", "Derivation", "MaterializedRecursion",
     "apply_rule", "compile_plan", "execute_plan", "explain_answer",
     "join_batch",

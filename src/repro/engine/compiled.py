@@ -24,18 +24,16 @@ This engine executes the strategies that the compiler
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..core.bindings import (Adornment, binding_sequence, body_adornment,
+from ..core.bindings import (Adornment, body_adornment,
                              determined_closure)
-from ..core.classifier import Classification, classify
+from ..core.classifier import Classification
 from ..core.compile import (CompiledFormula, StableCompilation, Strategy,
-                            compile_query, compile_stable)
+                            compile_query)
 from ..datalog.program import RecursionSystem
 from ..datalog.terms import Variable
 from ..graphs.igraph import build_igraph
 from ..ra.database import Database
-from .conjunctive import satisfiable, solve, solve_project
+from .conjunctive import satisfiable, solve_project
 from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats

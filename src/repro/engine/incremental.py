@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from ..datalog.atoms import Atom
 from ..datalog.program import RecursionSystem
 from ..datalog.rules import Rule
 from ..datalog.terms import Variable

@@ -1,0 +1,66 @@
+"""Hash partitioning of delta relations for sharded execution.
+
+Each semi-naive round is a pure function of the round's delta: the
+recursive rule is applied to every delta tuple independently and the
+results are unioned.  Any partition of the delta therefore yields the
+same round result — sharding is purely a throughput decision, never a
+correctness one (property-tested in
+``tests/test_sharded_properties.py``).
+
+The partitioning *key* still matters for balance.  We hash on the
+delta columns that feed the join plan's first probe key (the columns
+the first hash join actually looks up), so tuples that probe the same
+hash bucket land in the same shard and the per-shard working sets stay
+disjoint-ish.  When the plan starts with an unbound (cartesian) step
+the whole row is hashed instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .plan import EntryLayout, JoinPlan
+
+
+def probe_key_positions(plan: JoinPlan,
+                        layout: EntryLayout) -> tuple[int, ...]:
+    """The delta-row columns feeding *plan*'s first bound probe key.
+
+    Plan key sources address binding-layout slots; only slots within
+    the entry layout correspond to delta columns, and the first step's
+    bound key always lies there (nothing else is bound yet).  Returns
+    ``()`` when no step keys on an entry column — the caller should
+    then hash whole rows.
+    """
+    entry_width = len(layout.variables)
+    for step in plan.steps:
+        slots = [payload for is_const, payload in step.key_sources
+                 if not is_const and payload < entry_width]
+        if slots:
+            return tuple(layout.take[slot] for slot in slots)
+    return ()
+
+
+def partition_rows(rows: Iterable[tuple],
+                   key_positions: Sequence[int],
+                   shard_count: int) -> list[list[tuple]]:
+    """Partition *rows* into *shard_count* shards by hashed key.
+
+    Rows agreeing on the key columns always share a shard.  Shards may
+    come back empty; the union of all shards is exactly *rows*.
+    """
+    if shard_count <= 1:
+        return [list(rows)]
+    shards: list[list[tuple]] = [[] for _ in range(shard_count)]
+    if not key_positions:
+        for row in rows:
+            shards[hash(row) % shard_count].append(row)
+    elif len(key_positions) == 1:
+        position = key_positions[0]
+        for row in rows:
+            shards[hash(row[position]) % shard_count].append(row)
+    else:
+        for row in rows:
+            key = tuple(row[p] for p in key_positions)
+            shards[hash(key) % shard_count].append(row)
+    return shards

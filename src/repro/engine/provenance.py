@@ -27,9 +27,8 @@ proof::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..datalog.atoms import Atom
 from ..datalog.errors import EvaluationError
 from ..datalog.program import RecursionSystem
 from ..datalog.rules import Rule
@@ -80,9 +79,6 @@ class Derivation:
 def _tuple_depths(system: RecursionSystem,
                   database: Database) -> dict[tuple, int]:
     """First-derivation depth of every tuple (semi-naive replay)."""
-    from .seminaive import SemiNaiveEngine
-    from .stats import EvaluationStats
-
     depths: dict[tuple, int] = {}
     rule = system.recursive
     total: set[tuple] = set()

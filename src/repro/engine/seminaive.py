@@ -70,43 +70,70 @@ class SemiNaiveEngine:
         database = edb.copy()
         rule = system.recursive
 
-        # Round 0: exit rules over the EDB.
-        total: set[tuple] = set()
-        for exit_rule in system.exits:
-            if self.set_at_a_time:
-                total |= apply_rule(database, exit_rule.body, (),
-                                    exit_rule.head.args, [()], stats)
-            else:
-                total |= solve_project(database, exit_rule.body,
-                                       exit_rule.head.args, stats=stats)
-        delta = set(total)
-        stats.record_round(len(delta))
-
         body_rest = list(rule.nonrecursive_atoms)
         recursive_vars = rule.recursive_atom.args
         head_args = rule.head.args
 
-        rounds = 0
-        while delta:
-            if max_rounds is not None and rounds >= max_rounds:
-                break
-            rounds += 1
-            if self.set_at_a_time:
-                new = apply_rule(database, body_rest, recursive_vars,
-                                 head_args, delta, stats)
-            else:
-                new = self._tuple_at_a_time_round(
-                    database, body_rest, recursive_vars, head_args,
-                    delta, stats)
-            delta = new - total
-            total |= delta
+        self._begin_fixpoint(system, database, stats)
+        try:
+            # Round 0: exit rules over the EDB.
+            total: set[tuple] = set()
+            for exit_rule in system.exits:
+                if self.set_at_a_time:
+                    total |= apply_rule(database, exit_rule.body, (),
+                                        exit_rule.head.args, [()], stats)
+                else:
+                    total |= solve_project(database, exit_rule.body,
+                                           exit_rule.head.args,
+                                           stats=stats)
+            delta = set(total)
             stats.record_round(len(delta))
+
+            rounds = 0
+            while delta:
+                if max_rounds is not None and rounds >= max_rounds:
+                    break
+                rounds += 1
+                new = self._recursive_round(database, body_rest,
+                                            recursive_vars, head_args,
+                                            delta, stats)
+                delta = new - total
+                total |= delta
+                stats.record_round(len(delta))
+        finally:
+            self._end_fixpoint(stats)
 
         answers = frozenset(total)
         if query is not None:
             answers = query.filter(answers)
         stats.answers = len(answers)
         return answers
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _begin_fixpoint(self, system: RecursionSystem,
+                        database: Database,
+                        stats: EvaluationStats) -> None:
+        """Called once before round 0 (sharded engine: pool setup)."""
+
+    def _end_fixpoint(self, stats: EvaluationStats) -> None:
+        """Called once after the loop, even on error (pool teardown)."""
+
+    def _recursive_round(self, database: Database, body_rest,
+                         recursive_vars, head_args, delta: set[tuple],
+                         stats: EvaluationStats) -> set[tuple]:
+        """One application of the recursive rule to *delta*.
+
+        Subclasses override this to change the execution discipline of
+        a round; the delta bookkeeping around it stays shared, which is
+        what keeps per-round delta sizes comparable across engines.
+        """
+        if self.set_at_a_time:
+            return apply_rule(database, body_rest, recursive_vars,
+                              head_args, delta, stats)
+        return self._tuple_at_a_time_round(
+            database, body_rest, recursive_vars, head_args, delta,
+            stats)
 
     @staticmethod
     def _tuple_at_a_time_round(database: Database, body_rest,

@@ -1,0 +1,209 @@
+"""Sharded semi-naive evaluation over a persistent worker pool.
+
+The classified recursive rule compiles into an iterative loop whose
+rounds are pure functions of the delta relation (see
+:mod:`repro.engine.seminaive`), which makes the loop embarrassingly
+partitionable: hash-split the delta on the join key, apply the rule to
+each shard in its own process, union the results into the next delta.
+
+Architecture
+------------
+* The parent creates one :mod:`multiprocessing` pool per fixpoint,
+  lazily — on the first round whose delta is large enough to be worth
+  the IPC.  Workers are initialized once with a read-only *snapshot*
+  of the database and the rule pieces (see
+  :meth:`~repro.ra.database.Database.__getstate__`); afterwards only
+  delta shards travel down and (answer-set, counters) pairs travel
+  back.  Because the snapshot never mutates, each worker builds its
+  hash tables once and reuses them across every later round.
+* ``workers=0`` selects a deterministic in-process executor: the same
+  partition/apply/union path without any processes, bit-identical to
+  :class:`~repro.engine.seminaive.SemiNaiveEngine` and usable under
+  coverage and debuggers.
+* Faults degrade, never fail: if the pool cannot be created, dies, or
+  a dispatch errors, the round (and all later ones) falls back to the
+  sequential set-at-a-time kernel and ``stats.pool_fallbacks`` counts
+  the event.  Deltas below ``min_parallel_rows`` skip the pool as
+  well (``stats.sequential_rounds``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from ..datalog.program import RecursionSystem
+from ..ra.database import Database
+from .partition import partition_rows, probe_key_positions
+from .plan import compile_plan, entry_layout
+from .seminaive import SemiNaiveEngine
+from .setjoin import apply_rule
+from .stats import EvaluationStats
+
+#: Per-process worker state, filled in by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(database: Database, body, entry_terms,
+                 out_terms) -> None:
+    """Pool initializer: pin the snapshot and rule pieces."""
+    _WORKER_STATE["database"] = database
+    _WORKER_STATE["body"] = body
+    _WORKER_STATE["entry_terms"] = entry_terms
+    _WORKER_STATE["out_terms"] = out_terms
+    #: head tuples this worker already shipped in earlier rounds of
+    #: the current fixpoint — re-deriving them is common (TC reaches
+    #: the same pair along many paths) and re-shipping is pure waste:
+    #: anything shipped before is in the parent's ``total`` already,
+    #: so suppressing it cannot change any delta.
+    _WORKER_STATE["emitted"] = set()
+
+
+def _run_shard(rows: list[tuple]) -> tuple[set[tuple], EvaluationStats]:
+    """Apply the recursive rule to one delta shard in a worker."""
+    stats = EvaluationStats()
+    answers = apply_rule(_WORKER_STATE["database"], _WORKER_STATE["body"],
+                         _WORKER_STATE["entry_terms"],
+                         _WORKER_STATE["out_terms"], rows, stats)
+    emitted = _WORKER_STATE["emitted"]
+    fresh = answers - emitted
+    emitted |= fresh
+    return fresh, stats
+
+
+class ShardedSemiNaiveEngine(SemiNaiveEngine):
+    """Semi-naive fixpoint with hash-partitioned parallel rounds.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  0 (the default) runs the sharded path in-process —
+        deterministic, no processes, answers bit-identical to
+        :class:`SemiNaiveEngine`.
+    shards:
+        Shards per round; defaults to *workers* (or 4 when
+        ``workers=0``).
+    min_parallel_rows:
+        Deltas smaller than this run sequentially — shipping tiny
+        shards costs more than the join work saved.
+    start_method:
+        Forced :mod:`multiprocessing` start method; default prefers
+        ``fork`` (snapshot inherited for free) where available.
+
+    >>> from ..datalog.parser import parse_system
+    >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
+    >>> db = Database.from_dict({
+    ...     "A": [("a", "b"), ("b", "c")],
+    ...     "P__exit": [("c", "c")]})
+    >>> sorted(ShardedSemiNaiveEngine(workers=0).evaluate(s, db))
+    [('a', 'c'), ('b', 'c'), ('c', 'c')]
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int = 0, shards: int | None = None,
+                 min_parallel_rows: int = 256,
+                 start_method: str | None = None) -> None:
+        super().__init__(set_at_a_time=True)
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.shards = shards if shards is not None else (
+            workers if workers > 0 else 4)
+        self.min_parallel_rows = min_parallel_rows
+        self.start_method = start_method
+        self._pool = None
+        self._pool_broken = False
+        self._pool_args: tuple | None = None
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _begin_fixpoint(self, system: RecursionSystem,
+                        database: Database,
+                        stats: EvaluationStats) -> None:
+        stats.workers = self.workers
+        self._pool = None
+        self._pool_broken = False
+        rule = system.recursive
+        self._pool_args = (database, tuple(rule.nonrecursive_atoms),
+                           rule.recursive_atom.args, rule.head.args)
+
+    def _end_fixpoint(self, stats: EvaluationStats) -> None:
+        self._stop_pool()
+        self._pool_args = None
+
+    def _stop_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def _ensure_pool(self):
+        """The live pool, created on first use; None when unavailable."""
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            method = self.start_method or (
+                "fork" if "fork" in methods else None)
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(self.workers,
+                                      initializer=_init_worker,
+                                      initargs=self._pool_args)
+        except Exception:
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    # -- round execution -------------------------------------------------
+
+    def _recursive_round(self, database: Database, body_rest,
+                         recursive_vars, head_args, delta: set[tuple],
+                         stats: EvaluationStats) -> set[tuple]:
+        if self.workers > 0 and len(delta) < self.min_parallel_rows:
+            stats.sequential_rounds += 1
+            return apply_rule(database, body_rest, recursive_vars,
+                              head_args, delta, stats)
+        plan = compile_plan(body_rest, recursive_vars, head_args,
+                            database, stats)
+        layout = entry_layout(tuple(recursive_vars))
+        key_positions = probe_key_positions(plan, layout)
+        shards = [shard for shard in
+                  partition_rows(delta, key_positions,
+                                 max(1, self.shards))
+                  if shard]
+        stats.record_shards([len(shard) for shard in shards])
+        if self.workers == 0:
+            new: set[tuple] = set()
+            for shard in shards:
+                new |= apply_rule(database, body_rest, recursive_vars,
+                                  head_args, shard, stats)
+            return new
+        if self._pool is None and not self._pool_broken:
+            # Warm the plan's hash tables in the parent before the pool
+            # forks: children inherit built tables through copy-on-write
+            # pages instead of each rebuilding them from raw rows.
+            for step in plan.steps:
+                if step.key_positions:
+                    database.hash_table(step.predicate,
+                                        step.key_positions)
+        pool = self._ensure_pool()
+        if pool is None:
+            stats.pool_fallbacks += 1
+            return apply_rule(database, body_rest, recursive_vars,
+                              head_args, delta, stats)
+        started = time.perf_counter()
+        try:
+            results = pool.map(_run_shard, shards)
+        except Exception:
+            self._stop_pool()
+            self._pool_broken = True
+            stats.pool_fallbacks += 1
+            return apply_rule(database, body_rest, recursive_vars,
+                              head_args, delta, stats)
+        stats.pool_round_trip_s += time.perf_counter() - started
+        new = set()
+        for answers, shard_stats in results:
+            new |= answers
+            stats.merge(shard_stats)
+        return new

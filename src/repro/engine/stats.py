@@ -30,6 +30,21 @@ class EvaluationStats:
     hash_builds: int = 0
     #: bindings entering the set-at-a-time kernel, one entry per batch
     batch_sizes: list[int] = field(default_factory=list)
+    #: sharded execution — configured worker count (0 = in-process)
+    workers: int = 0
+    #: non-empty shards dispatched, one entry per partitioned round
+    shard_counts: list[int] = field(default_factory=list)
+    #: max/mean shard-size ratio, one entry per partitioned round
+    #: (1.0 is a perfectly balanced round)
+    shard_skew: list[float] = field(default_factory=list)
+    #: wall-clock seconds spent waiting on the worker pool
+    pool_round_trip_s: float = 0.0
+    #: rounds that fell back to sequential because the pool could not
+    #: be created, died, or returned an error
+    pool_fallbacks: int = 0
+    #: rounds run sequentially because the delta was below the
+    #: parallelism threshold (tiny shards are not worth the IPC)
+    sequential_rounds: int = 0
 
     def record_round(self, new_tuples: int) -> None:
         """Log one fixpoint round and its new-tuple count."""
@@ -54,6 +69,15 @@ class EvaluationStats:
         """Log one set-at-a-time batch and its binding count."""
         self.batch_sizes.append(size)
 
+    def record_shards(self, sizes: list[int]) -> None:
+        """Log one partitioned round: shard count and size skew."""
+        self.shard_counts.append(len(sizes))
+        total = sum(sizes)
+        if sizes and total:
+            self.shard_skew.append(max(sizes) * len(sizes) / total)
+        else:
+            self.shard_skew.append(1.0)
+
     def merge(self, other: "EvaluationStats") -> None:
         """Fold *other*'s counters into this one (sub-evaluations)."""
         self.rounds += other.rounds
@@ -63,6 +87,11 @@ class EvaluationStats:
         self.plan_cache_misses += other.plan_cache_misses
         self.hash_builds += other.hash_builds
         self.batch_sizes.extend(other.batch_sizes)
+        self.shard_counts.extend(other.shard_counts)
+        self.shard_skew.extend(other.shard_skew)
+        self.pool_round_trip_s += other.pool_round_trip_s
+        self.pool_fallbacks += other.pool_fallbacks
+        self.sequential_rounds += other.sequential_rounds
 
     def summary(self) -> str:
         """One-line rendering for bench output."""

@@ -27,8 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datalog.terms import Variable
-from .compress import CompressedEdge, ReducedGraph
-from .edges import DirectedEdge, TraversedEdge, UndirectedEdge
+from .compress import ReducedGraph
+from .edges import DirectedEdge, TraversedEdge
 from .igraph import IGraph
 
 

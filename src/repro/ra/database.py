@@ -16,6 +16,15 @@ Two kinds of access path coexist:
 
 Bulk loads bump the version once per call instead of once per row, so
 a 10k-row load invalidates each derived structure a single time.
+Removals (:meth:`remove`, :meth:`bulk_remove`) go through the same
+version discipline, so cached hash tables never serve deleted rows.
+
+Databases pickle as *snapshots*: only the rows, arities and version
+counters cross the wire — lazily built indexes and hash tables are
+dropped and rebuilt on first use in the receiving process.  This is
+the serialization boundary the sharded engine's worker pool relies on
+(each worker re-derives its own hash tables once, then reuses them
+across every round because the snapshot's versions never move).
 """
 
 from __future__ import annotations
@@ -57,6 +66,9 @@ class Database:
                                 tuple[int, dict]] = {}
         #: >0 while inside :meth:`bulk`: index/version upkeep deferred
         self._bulk_depth = 0
+        #: relations mutated while inside a bulk operation; each gets
+        #: exactly one version bump when the outermost bulk ends
+        self._bulk_dirty: set[str] = set()
         #: when False, `match` falls back to full scans (for ablations)
         self.indexed = indexed
         #: rows examined while matching (indexes make this ≈ answers)
@@ -121,19 +133,48 @@ class Database:
             return False
         rows.add(row)
         if self._bulk_depth:
-            return True  # bulk() invalidates once at the end
+            self._bulk_dirty.add(name)  # one bump when the bulk ends
+            return True
         self._versions[name] = self._versions.get(name, 0) + 1
         for (indexed_name, position), index in self._indexes.items():
             if indexed_name == name:
                 index.setdefault(row[position], set()).add(row)
         return True
 
+    def remove(self, name: str, row: tuple) -> bool:
+        """Delete one row; returns True when it was present.
+
+        Removal moves the version counter exactly like insertion, so
+        cached hash tables and per-position indexes never serve a
+        deleted row.
+
+        >>> db = Database.from_dict({"A": [("a", "b")]})
+        >>> db.remove("A", ("a", "b")), db.remove("A", ("a", "b"))
+        (True, False)
+        """
+        row = tuple(row)
+        rows = self._relations.get(name)
+        if rows is None or row not in rows:
+            return False
+        rows.remove(row)
+        if self._bulk_depth:
+            self._bulk_dirty.add(name)
+            return True
+        self._versions[name] = self._versions.get(name, 0) + 1
+        for (indexed_name, position), index in self._indexes.items():
+            if indexed_name == name:
+                bucket = index.get(row[position])
+                if bucket is not None:
+                    bucket.discard(row)
+        return True
+
     def bulk(self, name: str, rows: Iterable[tuple]) -> int:
         """Insert many rows; returns the number actually new.
 
         Index and version upkeep is batched: one version bump and one
-        index invalidation per call, however many rows arrive, instead
-        of per-row maintenance in :meth:`add`.
+        index invalidation per mutated relation when the outermost
+        bulk operation ends, however many rows arrive, instead of
+        per-row maintenance in :meth:`add`.
         """
         added = 0
         self._bulk_depth += 1
@@ -142,11 +183,41 @@ class Database:
                 added += self.add(name, row)
         finally:
             self._bulk_depth -= 1
-            if added and not self._bulk_depth:
-                self._versions[name] = self._versions.get(name, 0) + 1
-                for key in [k for k in self._indexes if k[0] == name]:
-                    del self._indexes[key]
+            if not self._bulk_depth:
+                self._flush_bulk()
         return added
+
+    def bulk_remove(self, name: str, rows: Iterable[tuple]) -> int:
+        """Delete many rows; returns the number actually removed.
+
+        The batched-invalidation discipline of :meth:`bulk` applies:
+        one version bump per mutated relation at the end of the
+        outermost bulk operation.
+        """
+        removed = 0
+        self._bulk_depth += 1
+        try:
+            for row in rows:
+                removed += self.remove(name, row)
+        finally:
+            self._bulk_depth -= 1
+            if not self._bulk_depth:
+                self._flush_bulk()
+        return removed
+
+    def _flush_bulk(self) -> None:
+        """Apply the deferred invalidation for every dirty relation.
+
+        Tracking dirtiness per relation (rather than a per-call "did I
+        add anything" flag) makes nested bulk operations and mixed
+        add/remove batches invalidate correctly: every relation that
+        changed gets its bump, and only those.
+        """
+        for name in self._bulk_dirty:
+            self._versions[name] = self._versions.get(name, 0) + 1
+            for key in [k for k in self._indexes if k[0] == name]:
+                del self._indexes[key]
+        self._bulk_dirty.clear()
 
     def version(self, name: str) -> int:
         """Mutation counter of the relation (0 when never touched)."""
@@ -269,6 +340,30 @@ class Database:
             for row in rows:
                 values.update(row)
         return frozenset(values)
+
+    # -- snapshots --------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle as a snapshot: rows, arities and versions only.
+
+        Derived structures (per-position indexes, hash tables) are
+        process-local caches — they are dropped at the serialization
+        boundary and rebuilt lazily on first use in the receiver,
+        where the versioned cache makes each rebuild a one-time cost.
+        """
+        return {
+            "relations": {name: set(rows)
+                          for name, rows in self._relations.items()},
+            "arities": dict(self._arities),
+            "versions": dict(self._versions),
+            "indexed": self.indexed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(indexed=state["indexed"])
+        self._relations = state["relations"]
+        self._arities = state["arities"]
+        self._versions = state["versions"]
 
     def __contains__(self, name_row: tuple[str, tuple]) -> bool:
         name, row = name_row

@@ -10,7 +10,7 @@ formula actually running as algebra.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Union
 
 from ..datalog.errors import SchemaError
 from .database import Database

@@ -41,6 +41,7 @@ from .engine.naive import NaiveEngine
 from .engine.topdown import TopDownEngine
 from .engine.query import Query
 from .engine.seminaive import SemiNaiveEngine
+from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .ra.database import Database
 
@@ -179,20 +180,26 @@ class DeductiveDatabase:
     # -- querying --------------------------------------------------------
 
     ENGINES = {"compiled": CompiledEngine, "semi-naive": SemiNaiveEngine,
-               "naive": NaiveEngine, "top-down": TopDownEngine}
+               "naive": NaiveEngine, "top-down": TopDownEngine,
+               "sharded": ShardedSemiNaiveEngine}
 
     def query(self, query: Query | str,
               stats: EvaluationStats | None = None,
-              engine: str = "compiled") -> frozenset[tuple]:
+              engine: str = "compiled",
+              workers: int | None = None) -> frozenset[tuple]:
         """Answer a query, choosing the evaluation by classification.
 
         EDB predicates are looked up directly; non-recursive views are
         materialised; recursive predicates go through the chosen
         *engine* (default: the compiled engine, with a cached plan so
-        the constants are pushed into the recursion).
+        the constants are pushed into the recursion).  Passing
+        *workers* selects the sharded engine with that pool size
+        (0 = deterministic in-process sharding).
         """
         if isinstance(query, str):
             query = Query.parse(query)
+        if workers is not None and engine == "compiled":
+            engine = "sharded"
         predicate = query.predicate
 
         if predicate not in self.idb_predicates:
@@ -207,8 +214,10 @@ class DeductiveDatabase:
 
         base = self._materialise_below(predicate)
         if engine != "compiled":
-            return self.ENGINES[engine]().evaluate(system, base, query,
-                                                   stats)
+            cls = self.ENGINES[engine]
+            instance = (cls(workers=workers or 0)
+                        if cls is ShardedSemiNaiveEngine else cls())
+            return instance.evaluate(system, base, query, stats)
         key = (predicate, query.adornment)
         compiled = self._plan_cache.get(key)
         if compiled is None:

@@ -9,7 +9,7 @@ paper-vs-measured rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..datalog.parser import parse_system
 from ..datalog.program import RecursionSystem

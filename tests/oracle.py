@@ -15,7 +15,7 @@ from itertools import product
 
 from repro.datalog.program import RecursionSystem
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 from repro.ra.database import Database
 
 

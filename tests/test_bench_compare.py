@@ -1,0 +1,106 @@
+"""The bench-regression gate: green on parity, red on regression.
+
+``benchmarks/compare.py`` guards CI against performance regressions by
+comparing each workload's machine-relative speedup against the
+committed baselines.  These tests exercise the gate's verdicts end to
+end through ``main()`` — including the required failure when a
+baseline is hand-inflated, which is how the gate itself is known to
+work.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COMPARE = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare)
+
+
+def _write(directory: Path, speedups: dict[str, float]) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"bench": "demo", "results": [
+        {"workload": name, "speedup": value}
+        for name, value in speedups.items()]}
+    (directory / "BENCH_demo.json").write_text(
+        json.dumps(payload), encoding="utf-8")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baselines", tmp_path / "output"
+
+
+def _run(dirs, capsys):
+    baselines, output = dirs
+    code = compare.main(["--baselines", str(baselines),
+                         "--current", str(output)])
+    return code, capsys.readouterr().out
+
+
+class TestVerdicts:
+    def test_parity_passes(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0})
+        _write(dirs[1], {"tc": 4.0})
+        code, out = _run(dirs, capsys)
+        assert code == 0
+        assert "| ok |" in out
+
+    def test_small_drop_within_threshold_passes(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0})
+        _write(dirs[1], {"tc": 3.1})  # -22.5% < 25% threshold
+        assert _run(dirs, capsys)[0] == 0
+
+    def test_inflated_baseline_goes_red(self, dirs, capsys):
+        """The acceptance check: hand-inflate the baseline and the job
+        must fail."""
+        _write(dirs[0], {"tc": 40.0})  # nobody measured this
+        _write(dirs[1], {"tc": 4.0})
+        code, out = _run(dirs, capsys)
+        assert code == 1
+        assert "regression" in out
+
+    def test_missing_workload_goes_red(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0, "gone": 2.0})
+        _write(dirs[1], {"tc": 4.0})
+        code, out = _run(dirs, capsys)
+        assert code == 1
+        assert "missing" in out
+
+    def test_new_workload_is_informational(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0})
+        _write(dirs[1], {"tc": 4.0, "fresh": 9.9})
+        code, out = _run(dirs, capsys)
+        assert code == 0
+        assert "| new |" in out
+
+    def test_absent_current_run_goes_red(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0})
+        dirs[1].mkdir()
+        assert _run(dirs, capsys)[0] == 1
+
+    def test_no_baselines_is_an_error(self, dirs, capsys):
+        dirs[0].mkdir()
+        dirs[1].mkdir()
+        assert _run(dirs, capsys)[0] == 1
+
+
+class TestTable:
+    def test_markdown_shape_and_delta(self, dirs, capsys):
+        _write(dirs[0], {"tc": 4.0})
+        _write(dirs[1], {"tc": 5.0})
+        _, out = _run(dirs, capsys)
+        assert "| bench | workload | baseline | current |" in out
+        assert "| 4.00x | 5.00x | +25% | ok |" in out
+
+    def test_repo_baselines_match_their_own_shape(self, capsys):
+        """The committed baselines must always satisfy the gate when
+        compared against themselves."""
+        baselines = _COMPARE.parent / "baselines"
+        code = compare.main(["--baselines", str(baselines),
+                             "--current", str(baselines)])
+        assert code == 0
+        assert "**regression**" not in capsys.readouterr().out

@@ -1,7 +1,5 @@
 """Direct unit tests for the compiler's body-structuring helpers."""
 
-import pytest
-
 from repro.core.compile import (_assemble_groups, _collapse_stages,
                                 _stage_order, _structure_body)
 from repro.core.plans import render

@@ -1,7 +1,5 @@
 """White-box tests of the compiled engine's strategy internals."""
 
-import pytest
-
 from repro.core.compile import Strategy, compile_query
 from repro.datalog.parser import parse_system
 from repro.engine import (CompiledEngine, EvaluationStats, Query,

@@ -52,6 +52,91 @@ class TestMutation:
         assert db.arity("P") == 2
 
 
+class TestRemoval:
+    def test_remove_reports_presence(self, db):
+        assert db.remove("A", ("a", "b"))
+        assert not db.remove("A", ("a", "b"))
+        assert not db.remove("missing", ("a", "b"))
+
+    def test_remove_updates_match_index(self, db):
+        list(db.match("A", ("a", None)))  # force index build
+        db.remove("A", ("a", "b"))
+        assert set(db.match("A", ("a", None))) == {("a", "c")}
+
+    def test_bulk_remove_counts_removed_rows(self, db):
+        assert db.bulk_remove("A", [("a", "b"), ("zz", "zz")]) == 1
+        assert db.count("A") == 2
+
+    def test_bulk_remove_invalidates_hash_tables(self, db):
+        """Cached hash tables must never serve deleted rows — the
+        version counter has to move on removal exactly as on
+        insertion."""
+        before = db.hash_table("A", (0,))
+        assert ("a", "b") in before["a"]
+        db.bulk_remove("A", [("a", "b")])
+        after = db.hash_table("A", (0,))
+        assert ("a", "b") not in after.get("a", [])
+        assert ("a", "c") in after["a"]
+
+    def test_remove_only_bulk_bumps_version_once(self, db):
+        version = db.version("A")
+        db.bulk_remove("A", [("a", "b"), ("b", "c")])
+        assert db.version("A") == version + 1
+
+    def test_bulk_with_removals_but_no_new_rows_invalidates(self, db):
+        """Regression: the old per-call "did I add anything" check
+        skipped the version bump when a bulk batch only removed rows
+        (the adds were all duplicates), leaving hash tables stale."""
+        stale = db.hash_table("A", (0,))
+        assert ("b", "c") in stale["b"]
+
+        def batch():
+            db.remove("A", ("b", "c"))  # removal nested in the bulk
+            yield ("a", "b")            # duplicate: adds nothing
+
+        assert db.bulk("A", batch()) == 0
+        fresh = db.hash_table("A", (0,))
+        assert ("b", "c") not in fresh.get("b", [])
+
+    def test_nested_bulk_invalidates_every_dirty_relation(self, db):
+        """A bulk load that triggers a nested bulk on another relation
+        must bump both relations' versions when the outermost call
+        ends."""
+        table_a = db.hash_table("A", (0,))
+        table_n = db.hash_table("N", (0,))
+        assert "q" not in table_n
+
+        def batch():
+            yield ("x", "y")
+            db.bulk("N", [("q",)])  # nested bulk, different relation
+            yield ("y", "z")
+
+        assert db.bulk("A", batch()) == 2
+        assert "q" in db.hash_table("N", (0,))
+        assert "x" in db.hash_table("A", (0,))
+        assert "x" not in table_a  # the stale table really was stale
+
+
+class TestSnapshotPickling:
+    def test_roundtrip_preserves_rows_arities_versions(self, db):
+        import pickle
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone.rows("A") == db.rows("A")
+        assert clone.rows("N") == db.rows("N")
+        assert clone.arity("A") == 2
+        assert clone.version("A") == db.version("A")
+
+    def test_roundtrip_drops_caches_and_rebuilds_lazily(self, db):
+        import pickle
+        db.hash_table("A", (0,))
+        list(db.match("A", ("a", None)))
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone.hash_builds == 0
+        assert clone.index_rebuilds == 0
+        assert clone.hash_table("A", (0,))["a"]
+        assert clone.hash_builds == 1
+
+
 class TestAccess:
     def test_rows_of_unknown_relation_is_empty(self, db):
         assert db.rows("missing") == frozenset()

@@ -5,7 +5,7 @@ import pytest
 from repro.datalog.errors import SchemaError
 from repro.ra.database import Database
 from repro.ra.expr import (CartesianProduct, DifferenceOp, Join, Literal,
-                           Projection, Renaming, Scan, Selection, Semijoin,
+                           Projection, Renaming, Scan, Semijoin,
                            UnionOp, evaluate, scan, select)
 from repro.ra.relation import Relation
 

@@ -1,7 +1,5 @@
 """White-box tests of the iterative plan factoring (general_plan)."""
 
-import pytest
-
 from repro.core.bindings import adornment_from_string, binding_sequence
 from repro.core.compile import general_plan
 from repro.core.plans import render

@@ -65,7 +65,7 @@ class TestErrors:
 
 class TestIntegrationWithEngines:
     def test_saved_edb_answers_identically(self, tmp_path):
-        from repro.engine import Query, SemiNaiveEngine
+        from repro.engine import SemiNaiveEngine
         from repro.workloads import CATALOGUE, chain_edb
         system = CATALOGUE["s1a"].system()
         db = chain_edb(system, 6)

@@ -1,7 +1,5 @@
 """Tests for the rule linter."""
 
-import pytest
-
 from repro.core.lint import Diagnostic, lint_report, lint_text
 
 

@@ -1,7 +1,5 @@
 """Robustness: unusual but legal values, shapes, and inputs."""
 
-import pytest
-
 from repro.datalog.parser import parse_program, parse_system
 from repro.engine import (CompiledEngine, Query, SemiNaiveEngine,
                           TopDownEngine)

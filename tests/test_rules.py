@@ -5,7 +5,7 @@ import pytest
 from repro.datalog.atoms import atom
 from repro.datalog.errors import RuleValidationError
 from repro.datalog.parser import parse_rule
-from repro.datalog.rules import RecursiveRule, Rule, exit_rule, make_rule
+from repro.datalog.rules import RecursiveRule, exit_rule, make_rule
 from repro.datalog.terms import Variable
 
 

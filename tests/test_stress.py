@@ -1,7 +1,5 @@
 """Stress and scale sanity tests (kept fast but non-trivial)."""
 
-import pytest
-
 from repro.core import classify, compile_query, to_stable
 from repro.datalog.parser import parse_rule, parse_system
 from repro.engine import (CompiledEngine, Query, SemiNaiveEngine)

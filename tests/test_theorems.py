@@ -12,7 +12,7 @@ from repro.core.classifier import classify
 from repro.core.stability import (is_semantically_stable,
                                   is_syntactically_stable)
 from repro.core.transform import to_stable
-from repro.datalog.parser import parse_rule, parse_system
+from repro.datalog.parser import parse_rule
 from repro.engine.seminaive import SemiNaiveEngine
 from repro.workloads import CATALOGUE, random_edb
 

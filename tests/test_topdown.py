@@ -5,7 +5,7 @@ import pytest
 from repro.engine import (CompiledEngine, EvaluationStats, Query,
                           SemiNaiveEngine, TopDownEngine)
 from repro.ra import Database
-from repro.workloads import CATALOGUE, chain, random_edb, reflexive_exit
+from repro.workloads import chain, random_edb, reflexive_exit
 
 
 class TestBasics:

@@ -1,7 +1,5 @@
 """Unit tests for EDB generators and the formula catalogue."""
 
-import pytest
-
 from repro.core.classifier import classify
 from repro.datalog.parser import parse_rule
 from repro.workloads import (CATALOGUE, EXTRAS, PAPER_ORDER, binary_tree,
