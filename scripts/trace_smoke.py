@@ -1,0 +1,88 @@
+"""CI smoke: one traced query per engine, validated against the schema.
+
+Runs transitive closure through every engine (naive, semi-naive,
+sharded in-process and pooled, compiled, top-down, incremental) with a
+:class:`~repro.engine.trace.Tracer` attached, validates each emitted
+JSON document with
+:func:`~repro.engine.trace.validate_trace_dict`, and checks the
+delta-conservation invariant (sum of per-round ``delta_out`` equals
+the answer count).  Exits non-zero on the first violation — this is
+the drift gate for ``TRACE_SCHEMA_VERSION``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.datalog.parser import parse_system
+from repro.engine import (CompiledEngine, MaterializedRecursion,
+                          NaiveEngine, Query, SemiNaiveEngine,
+                          ShardedSemiNaiveEngine, TopDownEngine,
+                          Tracer, validate_trace_dict)
+from repro.ra import Database
+from repro.workloads import chain
+
+ENGINES = {
+    "naive": NaiveEngine(),
+    "semi-naive": SemiNaiveEngine(),
+    "compiled": CompiledEngine(),
+    "top-down": TopDownEngine(),
+    "sharded(workers=0)": ShardedSemiNaiveEngine(workers=0),
+    "sharded(workers=2)": ShardedSemiNaiveEngine(workers=2,
+                                                 min_parallel_rows=1),
+}
+
+
+def main() -> int:
+    system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+    db = Database.from_dict({
+        "A": chain(8),
+        "P__exit": [(f"n{i}", f"n{i}") for i in range(9)],
+    })
+    query = Query.all_free("P", 2)
+    failures = 0
+
+    for label, engine in ENGINES.items():
+        tracer = Tracer()
+        answers = engine.evaluate(system, db.copy(), query,
+                                  trace=tracer)
+        failures += _check(label, tracer, len(answers))
+
+    view = MaterializedRecursion(system, db)
+    tracer = Tracer()
+    added = view.insert("A", ("n9", "n0"), trace=tracer)
+    failures += _check("incremental", tracer, len(added))
+
+    if failures:
+        print(f"trace smoke: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"trace smoke: {len(ENGINES) + 1} engines OK")
+    return 0
+
+
+def _check(label: str, tracer: Tracer, expected: int) -> int:
+    if tracer.trace is None:
+        print(f"{label}: no trace emitted", file=sys.stderr)
+        return 1
+    document = json.loads(tracer.trace.to_json())
+    try:
+        validate_trace_dict(document)
+    except ValueError as error:
+        print(f"{label}: schema violation: {error}", file=sys.stderr)
+        return 1
+    if tracer.trace.delta_total != expected:
+        print(f"{label}: traced deltas {tracer.trace.delta_total} != "
+              f"answers {expected}", file=sys.stderr)
+        return 1
+    print(f"{label}: {len(document['rounds'])} rounds, "
+          f"{expected} answers — schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .engine.seminaive import SemiNaiveEngine
 from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .engine.topdown import TopDownEngine
+from .engine.trace import TRACE_SCHEMA_VERSION, Tracer
 from .engine.provenance import explain_answer
 from .graphs.render import ascii_figure, ascii_resolution, to_dot
 from .graphs.resolution import resolution_graph
@@ -177,14 +178,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine = ShardedSemiNaiveEngine(workers=args.workers or 0)
     else:
         engine = _ENGINES[args.engine]()
+    tracing = args.trace or args.trace_json is not None
+    traces: list[dict] = []
     for query in queries:
         stats = EvaluationStats()
-        answers = engine.evaluate(system, db, query, stats)
+        tracer = Tracer() if tracing else None
+        answers = engine.evaluate(system, db, query, stats,
+                                  trace=tracer)
         for row in sorted(answers, key=repr):
             print(f"{system.predicate}"
                   f"({', '.join(str(v) for v in row)})")
         print(f"-- {query}: {len(answers)} answers   "
               f"[{stats.summary()}]", file=sys.stderr)
+        if tracer is not None and tracer.trace is not None:
+            if args.trace:
+                print(tracer.trace.render(), file=sys.stderr)
+            traces.append(tracer.trace.to_dict())
+    if args.trace_json is not None:
+        document = {"version": TRACE_SCHEMA_VERSION, "traces": traces}
+        if args.trace_json == "-":
+            json.dump(document, sys.stdout, ensure_ascii=False,
+                      indent=2)
+            print()
+        else:
+            with open(args.trace_json, "w", encoding="utf-8") as out:
+                json.dump(document, out, ensure_ascii=False, indent=2)
     return 0
 
 
@@ -277,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the fixpoint across N worker "
                             "processes (0 = in-process sharding); "
                             "implies the sharded engine")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print an EXPLAIN ANALYZE trace of each "
+                            "query to stderr")
+    p_run.add_argument("--trace-json", metavar="FILE", default=None,
+                       help="write the traces as JSON to FILE "
+                            "('-' for stdout)")
     p_run.set_defaults(func=_cmd_run)
     return parser
 

@@ -20,6 +20,8 @@ from .setjoin import apply_rule, execute_plan, join_batch
 from .sharded import ShardedSemiNaiveEngine
 from .topdown import TopDownEngine
 from .stats import EvaluationStats
+from .trace import (TRACE_SCHEMA_VERSION, RoundSpan, RuleSpan, Trace,
+                    Tracer, validate_trace_dict)
 
 ALL_ENGINES = (NaiveEngine, SemiNaiveEngine, CompiledEngine,
                TopDownEngine)
@@ -28,6 +30,8 @@ __all__ = [
     "ALL_ENGINES", "Binding", "CompiledEngine", "EvaluationStats",
     "JoinPlan", "JoinStep", "NaiveEngine", "Query", "SemiNaiveEngine",
     "ShardedSemiNaiveEngine",
+    "TRACE_SCHEMA_VERSION", "RoundSpan", "RuleSpan", "Trace", "Tracer",
+    "validate_trace_dict",
     "pattern_of", "partition_rows", "probe_key_positions",
     "TopDownEngine", "Derivation", "MaterializedRecursion",
     "apply_rule", "compile_plan", "execute_plan", "explain_answer",

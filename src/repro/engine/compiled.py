@@ -37,6 +37,7 @@ from .conjunctive import satisfiable, solve_project
 from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats
+from .trace import Tracer
 
 
 def _product_rows(pattern: tuple,
@@ -70,8 +71,8 @@ class CompiledEngine:
 
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query, stats: EvaluationStats | None = None,
-                 compiled: CompiledFormula | None = None
-                 ) -> frozenset[tuple]:
+                 compiled: CompiledFormula | None = None,
+                 trace: Tracer | None = None) -> frozenset[tuple]:
         """Answers to *query*, via the compiled strategy.
 
         >>> from ..datalog.parser import parse_system
@@ -88,28 +89,36 @@ class CompiledEngine:
             stats.engine = self.name
         if compiled is None:
             compiled = compile_query(system, query.adornment)
+        if trace is not None:
+            trace.begin(self.name, predicate=system.predicate,
+                        query=query,
+                        strategy=compiled.strategy.name.lower())
 
         if compiled.strategy is Strategy.BOUNDED:
             answers = self._evaluate_bounded(system, compiled.classification,
-                                             edb, query, stats)
+                                             edb, query, stats, trace)
         elif compiled.strategy is Strategy.STABLE:
             answers = self._evaluate_stable(compiled.stable, edb, query,
-                                            stats)
+                                            stats, trace)
         elif compiled.strategy is Strategy.TRANSFORM:
             answers = self._evaluate_stable(compiled.stable, edb, query,
-                                            stats)
+                                            stats, trace)
         else:
-            answers = self._evaluate_iterative(system, edb, query, stats)
+            answers = self._evaluate_iterative(system, edb, query, stats,
+                                               trace)
         answers = query.filter(answers)
         stats.answers = len(answers)
+        if trace is not None:
+            trace.finish(len(answers), stats)
         return answers
 
     # -- bounded -------------------------------------------------------
 
     def _evaluate_bounded(self, system: RecursionSystem,
                           classification: Classification, edb: Database,
-                          query: Query,
-                          stats: EvaluationStats) -> frozenset[tuple]:
+                          query: Query, stats: EvaluationStats,
+                          trace: Tracer | None = None
+                          ) -> frozenset[tuple]:
         bound = classification.rank_bound
         assert bound is not None
         answers: set[tuple] = set()
@@ -127,17 +136,23 @@ class CompiledEngine:
                     binding[head_term] = value
                 if not consistent:
                     continue
+                if trace is not None:
+                    trace.begin_round("expansion", 0, stats)
+                before = len(answers)
                 answers |= solve_project(edb, flattened.body,
                                          flattened.head.args, binding,
                                          stats=stats)
-                stats.record_round(0)
+                stats.record_round(len(answers) - before)
+                if trace is not None:
+                    trace.end_round(len(answers) - before, stats,
+                                    exit=exit_index, depth=depth)
         return frozenset(answers)
 
     # -- stable ----------------------------------------------------------
 
     def _evaluate_stable(self, stable: StableCompilation, edb: Database,
-                         query: Query,
-                         stats: EvaluationStats) -> frozenset[tuple]:
+                         query: Query, stats: EvaluationStats,
+                         trace: Tracer | None = None) -> frozenset[tuple]:
         system = stable.system
         specs = stable.specs
         bound_positions = sorted(query.adornment)
@@ -200,6 +215,12 @@ class CompiledEngine:
             if state in seen_states:
                 break
             seen_states.add(state)
+            if trace is not None:
+                trace.begin_round(
+                    "depth",
+                    sum(len(frontiers[i]) for i in bound_positions)
+                    + sum(len(exit_columns[j])
+                          for j in free_positions), stats)
 
             # Collect depth-`depth` answers.
             new_answers = 0
@@ -227,12 +248,18 @@ class CompiledEngine:
             stats.record_round(new_answers)
 
             if not gate_open:
+                if trace is not None:
+                    trace.end_round(new_answers, stats, depth=depth)
                 break  # nothing beyond depth 0 can ever be derived
             depth += 1
             frontiers = {i: forward(specs[i], frontiers[i])
                          for i in bound_positions}
             exit_columns = {j: backward(specs[j], exit_columns[j])
                             for j in free_positions}
+            # The span closes after the chain step so its probe count
+            # reflects the work done to *advance* past this depth.
+            if trace is not None:
+                trace.end_round(new_answers, stats, depth=depth - 1)
             if bound_positions and all(
                     not frontiers[i] for i in bound_positions):
                 break
@@ -250,10 +277,16 @@ class CompiledEngine:
     # -- iterative ---------------------------------------------------------
 
     def _evaluate_iterative(self, system: RecursionSystem, edb: Database,
-                            query: Query,
-                            stats: EvaluationStats) -> frozenset[tuple]:
+                            query: Query, stats: EvaluationStats,
+                            trace: Tracer | None = None
+                            ) -> frozenset[tuple]:
+        if trace is not None:
+            trace.begin_round("magic", 0, stats)
         magic, unrestricted = self._magic_bindings(system, edb, query,
                                                    stats)
+        if trace is not None:
+            trace.end_round(0, stats, unrestricted=unrestricted,
+                            bindings=sum(len(v) for v in magic.values()))
 
         def relevant(row: tuple) -> bool:
             if unrestricted:
@@ -265,18 +298,28 @@ class CompiledEngine:
             return False
 
         rule = system.recursive
+        if trace is not None:
+            trace.begin_round("exit", 0, stats)
         total: set[tuple] = set()
-        for exit_rule in system.exits:
+        for position, exit_rule in enumerate(system.exits):
+            if trace is not None:
+                trace.begin_rule(f"exit[{position}]: {exit_rule}", stats)
             total |= {row for row in solve_project(
                 edb, exit_rule.body, exit_rule.head.args, stats=stats)
                 if relevant(row)}
+            if trace is not None:
+                trace.end_rule(stats)
         delta = set(total)
         stats.record_round(len(delta))
+        if trace is not None:
+            trace.end_round(len(delta), stats)
 
         body_rest = list(rule.nonrecursive_atoms)
         recursive_vars = rule.recursive_atom.args
         head_args = rule.head.args
         while delta:
+            if trace is not None:
+                trace.begin_round("delta", len(delta), stats)
             if self.set_at_a_time:
                 new = {derived for derived in apply_rule(
                     edb, body_rest, recursive_vars, head_args, delta,
@@ -292,6 +335,8 @@ class CompiledEngine:
             delta = new - total
             total |= delta
             stats.record_round(len(delta))
+            if trace is not None:
+                trace.end_round(len(delta), stats)
         return frozenset(total)
 
     def _magic_bindings(self, system: RecursionSystem, edb: Database,

@@ -29,6 +29,7 @@ from .conjunctive import solve_project
 from .seminaive import SemiNaiveEngine
 from .setjoin import apply_rule
 from .stats import EvaluationStats
+from .trace import Tracer
 
 
 class _WithIDB:
@@ -78,19 +79,31 @@ class MaterializedRecursion:
 
     # -- insertion ------------------------------------------------------
 
-    def insert(self, predicate: str, row: tuple) -> frozenset[tuple]:
+    def insert(self, predicate: str, row: tuple,
+               trace: Tracer | None = None) -> frozenset[tuple]:
         """Add one base fact; returns the derived tuples it added."""
-        return self.insert_many(predicate, [row])
+        return self.insert_many(predicate, [row], trace)
 
-    def insert_many(self, predicate: str,
-                    rows: Iterable[tuple]) -> frozenset[tuple]:
-        """Add base facts; returns every newly derived tuple."""
+    def insert_many(self, predicate: str, rows: Iterable[tuple],
+                    trace: Tracer | None = None) -> frozenset[tuple]:
+        """Add base facts; returns every newly derived tuple.
+
+        *trace* records the insertion's differentiation seed round and
+        each semi-naive propagation round (``trace=None`` is free).
+        """
+        if trace is not None:
+            trace.begin("incremental",
+                        predicate=self._system.predicate)
         fresh = [tuple(r) for r in rows
                  if self._db.add(predicate, tuple(r))]
         if not fresh:
+            if trace is not None:
+                trace.finish(0, self.stats)
             return frozenset()
         view = _WithIDB(self._db, self._system.predicate, self._total)
 
+        if trace is not None:
+            trace.begin_round("seed", len(fresh), self.stats)
         seeds: set[tuple] = set()
         for rule in (self._system.recursive.rule, *self._system.exits):
             seeds |= self._differentiated(rule, predicate, fresh, view)
@@ -98,17 +111,26 @@ class MaterializedRecursion:
         delta = seeds - self._total
         added = set(delta)
         self._total |= delta
+        if trace is not None:
+            trace.end_round(len(delta), self.stats,
+                            inserted=len(fresh))
         # propagate through the recursive rule semi-naively
         recursive = self._system.recursive
         body_rest = list(recursive.nonrecursive_atoms)
         recursive_vars = recursive.recursive_atom.args
         head_args = recursive.head.args
         while delta:
+            if trace is not None:
+                trace.begin_round("delta", len(delta), self.stats)
             new = apply_rule(self._db, body_rest, recursive_vars,
                              head_args, delta, self.stats)
             delta = new - self._total
             added |= delta
             self._total |= delta
+            if trace is not None:
+                trace.end_round(len(delta), self.stats)
+        if trace is not None:
+            trace.finish(len(added), self.stats)
         return frozenset(added)
 
     def _differentiated(self, rule: Rule, predicate: str,

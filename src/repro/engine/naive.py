@@ -14,6 +14,7 @@ from .conjunctive import solve_project
 from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats
+from .trace import Tracer
 
 
 class NaiveEngine:
@@ -34,7 +35,8 @@ class NaiveEngine:
 
     def evaluate(self, system: RecursionSystem | Program, edb: Database,
                  query: Query | None = None,
-                 stats: EvaluationStats | None = None) -> frozenset[tuple]:
+                 stats: EvaluationStats | None = None,
+                 trace: Tracer | None = None) -> frozenset[tuple]:
         """All tuples of the recursive predicate, filtered by *query*.
 
         >>> from ..datalog.parser import parse_system
@@ -57,9 +59,18 @@ class NaiveEngine:
             arity = program.rules_for(predicate)[0].head.arity
             database.declare(predicate, arity)
 
+        if trace is not None:
+            trace.begin(self.name, predicate=next(iter(predicates)),
+                        query=query)
         while True:
             new_tuples = 0
-            for rule in program.rules:
+            if trace is not None:
+                trace.begin_round(
+                    "round",
+                    sum(database.count(p) for p in predicates), stats)
+            for position, rule in enumerate(program.rules):
+                if trace is not None:
+                    trace.begin_rule(f"rule[{position}]: {rule}", stats)
                 if self.set_at_a_time:
                     derived = apply_rule(database, rule.body, (),
                                          rule.head.args, [()], stats)
@@ -68,7 +79,11 @@ class NaiveEngine:
                                             rule.head.args, stats=stats)
                 for row in derived:
                     new_tuples += database.add(rule.head.predicate, row)
+                if trace is not None:
+                    trace.end_rule(stats)
             stats.record_round(new_tuples)
+            if trace is not None:
+                trace.end_round(new_tuples, stats)
             if new_tuples == 0:
                 break
 
@@ -78,4 +93,6 @@ class NaiveEngine:
         if query is not None:
             answers = query.filter(answers)
         stats.answers = len(answers)
+        if trace is not None:
+            trace.finish(len(answers), stats)
         return frozenset(answers)

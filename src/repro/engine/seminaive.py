@@ -28,6 +28,7 @@ from .conjunctive import solve_project
 from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats
+from .trace import Tracer
 
 
 class SemiNaiveEngine:
@@ -49,11 +50,14 @@ class SemiNaiveEngine:
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query | None = None,
                  stats: EvaluationStats | None = None,
-                 max_rounds: int | None = None) -> frozenset[tuple]:
+                 max_rounds: int | None = None,
+                 trace: Tracer | None = None) -> frozenset[tuple]:
         """All tuples of the recursive predicate, filtered by *query*.
 
         *max_rounds* caps the recursion depth (used by rank probes);
-        None runs to the natural fixpoint.
+        None runs to the natural fixpoint.  *trace* (when given)
+        collects one :class:`~repro.engine.trace.RoundSpan` per round;
+        ``trace=None`` adds no work to the loop.
 
         >>> from ..datalog.parser import parse_system
         >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
@@ -74,11 +78,19 @@ class SemiNaiveEngine:
         recursive_vars = rule.recursive_atom.args
         head_args = rule.head.args
 
+        if trace is not None:
+            trace.begin(self.name, predicate=system.predicate,
+                        query=query, workers=getattr(self, "workers", 0))
         self._begin_fixpoint(system, database, stats)
         try:
             # Round 0: exit rules over the EDB.
+            if trace is not None:
+                trace.begin_round("exit", 0, stats)
             total: set[tuple] = set()
-            for exit_rule in system.exits:
+            for position, exit_rule in enumerate(system.exits):
+                if trace is not None:
+                    trace.begin_rule(f"exit[{position}]: {exit_rule}",
+                                     stats)
                 if self.set_at_a_time:
                     total |= apply_rule(database, exit_rule.body, (),
                                         exit_rule.head.args, [()], stats)
@@ -86,20 +98,28 @@ class SemiNaiveEngine:
                     total |= solve_project(database, exit_rule.body,
                                            exit_rule.head.args,
                                            stats=stats)
+                if trace is not None:
+                    trace.end_rule(stats)
             delta = set(total)
             stats.record_round(len(delta))
+            if trace is not None:
+                trace.end_round(len(delta), stats)
 
             rounds = 0
             while delta:
                 if max_rounds is not None and rounds >= max_rounds:
                     break
                 rounds += 1
+                if trace is not None:
+                    trace.begin_round("delta", len(delta), stats)
                 new = self._recursive_round(database, body_rest,
                                             recursive_vars, head_args,
-                                            delta, stats)
+                                            delta, stats, trace)
                 delta = new - total
                 total |= delta
                 stats.record_round(len(delta))
+                if trace is not None:
+                    trace.end_round(len(delta), stats)
         finally:
             self._end_fixpoint(stats)
 
@@ -107,6 +127,8 @@ class SemiNaiveEngine:
         if query is not None:
             answers = query.filter(answers)
         stats.answers = len(answers)
+        if trace is not None:
+            trace.finish(len(answers), stats)
         return answers
 
     # -- subclass hooks --------------------------------------------------
@@ -121,12 +143,15 @@ class SemiNaiveEngine:
 
     def _recursive_round(self, database: Database, body_rest,
                          recursive_vars, head_args, delta: set[tuple],
-                         stats: EvaluationStats) -> set[tuple]:
+                         stats: EvaluationStats,
+                         trace: Tracer | None = None) -> set[tuple]:
         """One application of the recursive rule to *delta*.
 
         Subclasses override this to change the execution discipline of
         a round; the delta bookkeeping around it stays shared, which is
         what keeps per-round delta sizes comparable across engines.
+        *trace*, when given, is the open round span's tracer (the
+        sharded engine attaches shard sizes and fallback events to it).
         """
         if self.set_at_a_time:
             return apply_rule(database, body_rest, recursive_vars,

@@ -56,6 +56,7 @@ def _run_step(database: Database, step: JoinStep,
     table = database.hash_table(step.predicate, step.key_positions)
     if stats is not None:
         stats.hash_builds += database.hash_builds - builds_before
+        stats.hash_lookups += 1
     get_key = _probe_key_getter(step) if step.key_positions else None
     lookup = table.get
     new_positions = step.new_positions

@@ -59,8 +59,15 @@ def _init_worker(database: Database, body, entry_terms,
     _WORKER_STATE["emitted"] = set()
 
 
-def _run_shard(rows: list[tuple]) -> tuple[set[tuple], EvaluationStats]:
-    """Apply the recursive rule to one delta shard in a worker."""
+def _run_shard(rows: list[tuple]
+               ) -> tuple[set[tuple], EvaluationStats, float]:
+    """Apply the recursive rule to one delta shard in a worker.
+
+    Returns the fresh head tuples, the shard's counters, and the
+    worker's wall-clock seconds for the shard (traced as skew
+    evidence).
+    """
+    started = time.perf_counter()
     stats = EvaluationStats()
     answers = apply_rule(_WORKER_STATE["database"], _WORKER_STATE["body"],
                          _WORKER_STATE["entry_terms"],
@@ -68,7 +75,7 @@ def _run_shard(rows: list[tuple]) -> tuple[set[tuple], EvaluationStats]:
     emitted = _WORKER_STATE["emitted"]
     fresh = answers - emitted
     emitted |= fresh
-    return fresh, stats
+    return fresh, stats, time.perf_counter() - started
 
 
 class ShardedSemiNaiveEngine(SemiNaiveEngine):
@@ -159,9 +166,13 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
 
     def _recursive_round(self, database: Database, body_rest,
                          recursive_vars, head_args, delta: set[tuple],
-                         stats: EvaluationStats) -> set[tuple]:
+                         stats: EvaluationStats,
+                         trace=None) -> set[tuple]:
         if self.workers > 0 and len(delta) < self.min_parallel_rows:
             stats.sequential_rounds += 1
+            if trace is not None:
+                trace.event("sequential_round", rows=len(delta),
+                            threshold=self.min_parallel_rows)
             return apply_rule(database, body_rest, recursive_vars,
                               head_args, delta, stats)
         plan = compile_plan(body_rest, recursive_vars, head_args,
@@ -172,12 +183,18 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
                   partition_rows(delta, key_positions,
                                  max(1, self.shards))
                   if shard]
-        stats.record_shards([len(shard) for shard in shards])
+        sizes = [len(shard) for shard in shards]
+        stats.record_shards(sizes)
         if self.workers == 0:
             new: set[tuple] = set()
+            walls: list[float] = []
             for shard in shards:
+                started = time.perf_counter()
                 new |= apply_rule(database, body_rest, recursive_vars,
                                   head_args, shard, stats)
+                walls.append(time.perf_counter() - started)
+            if trace is not None:
+                trace.shards(sizes, walls)
             return new
         if self._pool is None and not self._pool_broken:
             # Warm the plan's hash tables in the parent before the pool
@@ -190,6 +207,8 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
         pool = self._ensure_pool()
         if pool is None:
             stats.pool_fallbacks += 1
+            if trace is not None:
+                trace.event("pool_fallback", reason="pool_unavailable")
             return apply_rule(database, body_rest, recursive_vars,
                               head_args, delta, stats)
         started = time.perf_counter()
@@ -199,11 +218,17 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
             self._stop_pool()
             self._pool_broken = True
             stats.pool_fallbacks += 1
+            if trace is not None:
+                trace.event("pool_fallback", reason="dispatch_error")
             return apply_rule(database, body_rest, recursive_vars,
                               head_args, delta, stats)
         stats.pool_round_trip_s += time.perf_counter() - started
         new = set()
-        for answers, shard_stats in results:
+        walls = []
+        for answers, shard_stats, wall in results:
             new |= answers
+            walls.append(wall)
             stats.merge(shard_stats)
+        if trace is not None:
+            trace.shards(sizes, walls)
         return new

@@ -28,6 +28,8 @@ class EvaluationStats:
     plan_cache_misses: int = 0
     #: hash tables built by the set-at-a-time kernel on our behalf
     hash_builds: int = 0
+    #: hash-table fetches by the kernel (lookups - builds = reuses)
+    hash_lookups: int = 0
     #: bindings entering the set-at-a-time kernel, one entry per batch
     batch_sizes: list[int] = field(default_factory=list)
     #: sharded execution — configured worker count (0 = in-process)
@@ -86,6 +88,7 @@ class EvaluationStats:
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.hash_builds += other.hash_builds
+        self.hash_lookups += other.hash_lookups
         self.batch_sizes.extend(other.batch_sizes)
         self.shard_counts.extend(other.shard_counts)
         self.shard_skew.extend(other.shard_skew)

@@ -26,6 +26,7 @@ from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
 from .stats import EvaluationStats
+from .trace import Tracer
 
 
 class _GoalView:
@@ -80,8 +81,8 @@ class TopDownEngine:
     name = "top-down"
 
     def evaluate(self, system: RecursionSystem, edb: Database,
-                 query: Query, stats: EvaluationStats | None = None
-                 ) -> frozenset[tuple]:
+                 query: Query, stats: EvaluationStats | None = None,
+                 trace: Tracer | None = None) -> frozenset[tuple]:
         """Answers to *query* by memoised top-down resolution.
 
         >>> from ..datalog.parser import parse_system
@@ -97,6 +98,9 @@ class TopDownEngine:
         else:
             stats.engine = self.name
 
+        if trace is not None:
+            trace.begin(self.name, predicate=system.predicate,
+                        query=query)
         view = _GoalView(edb, system.predicate)
         root = tuple(query.pattern)
         view.register(root)
@@ -112,6 +116,9 @@ class TopDownEngine:
             subgoal = queue.pop()
             queued.discard(subgoal)
             before = len(view.tables[subgoal])
+            root_before = len(view.tables[root])
+            if trace is not None:
+                trace.begin_round("subgoal", before, stats)
             view.probed = set()
             self._solve_subgoal(system, view, rules, subgoal, stats)
             for probed in view.probed:
@@ -123,6 +130,14 @@ class TopDownEngine:
             view.new_subgoals.clear()
             grown = len(view.tables[subgoal]) - before
             stats.record_round(grown)
+            if trace is not None:
+                # ``delta_out`` counts *root-table* growth so the
+                # traced deltas sum to the answer count; the solved
+                # subgoal's own growth rides along in ``detail``.
+                trace.end_round(
+                    len(view.tables[root]) - root_before, stats,
+                    subgoal=str(Query(system.predicate, subgoal)),
+                    table_growth=grown)
             if grown:
                 for waiter in dependents.get(subgoal, ()):
                     if waiter not in queued:
@@ -131,6 +146,8 @@ class TopDownEngine:
 
         answers = query.filter(view.tables[root])
         stats.answers = len(answers)
+        if trace is not None:
+            trace.finish(len(answers), stats)
         return answers
 
     def _solve_subgoal(self, system: RecursionSystem, view: _GoalView,

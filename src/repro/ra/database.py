@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..datalog.atoms import Atom
-from ..datalog.errors import EvaluationError
+from ..datalog.errors import EvaluationError, RuleValidationError
 from ..datalog.program import Program
 from ..datalog.terms import Constant
 from .relation import Relation
@@ -83,12 +83,21 @@ class Database:
 
     @classmethod
     def from_atoms(cls, facts: Iterable[Atom]) -> "Database":
-        """Build a database from ground atoms."""
+        """Build a database from ground atoms.
+
+        A fact with a variable argument is rejected rather than
+        silently truncated to its constant positions.
+        """
         db = cls()
         for fact in facts:
-            db.add(fact.predicate,
-                   tuple(term.value for term in fact.args
-                         if isinstance(term, Constant)))
+            values = []
+            for term in fact.args:
+                if not isinstance(term, Constant):
+                    raise RuleValidationError(
+                        f"fact {fact} is not ground: {term} is not a "
+                        f"constant")
+                values.append(term.value)
+            db.add(fact.predicate, tuple(values))
         return db
 
     @classmethod

@@ -43,6 +43,7 @@ from .engine.query import Query
 from .engine.seminaive import SemiNaiveEngine
 from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
+from .engine.trace import Tracer
 from .ra.database import Database
 
 
@@ -86,9 +87,14 @@ class DeductiveDatabase:
         self._invalidate(rules_changed=False)
 
     def _add_fact_atom(self, fact: Atom) -> None:
-        self._edb.add(fact.predicate,
-                      tuple(t.value for t in fact.args
-                            if isinstance(t, Constant)))
+        values = []
+        for term in fact.args:
+            if not isinstance(term, Constant):
+                raise RuleValidationError(
+                    f"fact {fact} is not ground: {term} is not a "
+                    f"constant")
+            values.append(term.value)
+        self._edb.add(fact.predicate, tuple(values))
         self._invalidate(rules_changed=False)
 
     def _invalidate(self, rules_changed: bool) -> None:
@@ -183,10 +189,16 @@ class DeductiveDatabase:
                "naive": NaiveEngine, "top-down": TopDownEngine,
                "sharded": ShardedSemiNaiveEngine}
 
+    #: engines that can absorb a ``workers=`` pool size (the sharded
+    #: engine *is* the parallel semi-naive, and the compiled default
+    #: upgrades transparently, matching the documented behaviour)
+    _SHARDABLE = frozenset({"compiled", "semi-naive", "sharded"})
+
     def query(self, query: Query | str,
               stats: EvaluationStats | None = None,
               engine: str = "compiled",
-              workers: int | None = None) -> frozenset[tuple]:
+              workers: int | None = None,
+              trace: Tracer | None = None) -> frozenset[tuple]:
         """Answer a query, choosing the evaluation by classification.
 
         EDB predicates are looked up directly; non-recursive views are
@@ -194,30 +206,65 @@ class DeductiveDatabase:
         *engine* (default: the compiled engine, with a cached plan so
         the constants are pushed into the recursion).  Passing
         *workers* selects the sharded engine with that pool size
-        (0 = deterministic in-process sharding).
+        (0 = deterministic in-process sharding); combining it with an
+        engine that cannot shard raises ``ValueError``.  Passing a
+        :class:`~repro.engine.trace.Tracer` as *trace* records the
+        execution; the finished :class:`~repro.engine.trace.Trace` is
+        available as ``trace.trace`` afterwards.
         """
         if isinstance(query, str):
             query = Query.parse(query)
-        if workers is not None and engine == "compiled":
+        if workers is not None:
+            if engine not in self._SHARDABLE:
+                raise ValueError(
+                    f"workers= shards the fixpoint and requires the "
+                    f"sharded engine (or semi-naive/compiled, which "
+                    f"upgrade to it); got engine={engine!r}")
             engine = "sharded"
+        if engine not in self.ENGINES:
+            raise EvaluationError(
+                f"unknown engine {engine!r}; valid engines: "
+                f"{', '.join(sorted(self.ENGINES))}")
         predicate = query.predicate
 
         if predicate not in self.idb_predicates:
+            known_arity = self._edb.arity(predicate)
+            if known_arity is None:
+                raise EvaluationError(
+                    f"unknown predicate {predicate!r}: no rule defines "
+                    f"it and no facts were loaded for it")
+            self._check_query_arity(query, known_arity)
+            if trace is not None:
+                trace.begin("edb", predicate=predicate, query=query)
             answers = query.filter(self._edb.rows(predicate))
             if stats is not None:
+                stats.engine = "edb"
                 stats.answers = len(answers)
+            if trace is not None:
+                trace.finish(len(answers), stats)
             return answers
 
+        self._check_query_arity(
+            query, self.rules_for(predicate)[0].head.arity)
         system = self.system_for(predicate)
         if system is None:
-            return query.filter(self.materialise().rows(predicate))
+            if trace is not None:
+                trace.begin("view", predicate=predicate, query=query)
+            answers = query.filter(self.materialise().rows(predicate))
+            if stats is not None:
+                stats.engine = "view"
+                stats.answers = len(answers)
+            if trace is not None:
+                trace.finish(len(answers), stats)
+            return answers
 
         base = self._materialise_below(predicate)
         if engine != "compiled":
             cls = self.ENGINES[engine]
             instance = (cls(workers=workers or 0)
                         if cls is ShardedSemiNaiveEngine else cls())
-            return instance.evaluate(system, base, query, stats)
+            return instance.evaluate(system, base, query, stats,
+                                     trace=trace)
         key = (predicate, query.adornment)
         compiled = self._plan_cache.get(key)
         if compiled is None:
@@ -225,7 +272,14 @@ class DeductiveDatabase:
                                      self.classification(predicate))
             self._plan_cache[key] = compiled
         return CompiledEngine().evaluate(system, base, query, stats,
-                                         compiled=compiled)
+                                         compiled=compiled, trace=trace)
+
+    @staticmethod
+    def _check_query_arity(query: Query, arity: int) -> None:
+        if query.arity != arity:
+            raise EvaluationError(
+                f"{query.predicate!r} has arity {arity}, but the "
+                f"query {query} has {query.arity} argument(s)")
 
     def prove(self, query: Query | str,
               limit: int | None = None) -> list:
@@ -260,6 +314,28 @@ class DeductiveDatabase:
         compiled = compile_query(system, query.adornment,
                                  self.classification(query.predicate))
         return compiled.describe()
+
+    def explain_analyze(self, query: Query | str,
+                        engine: str = "compiled",
+                        workers: int | None = None) -> str:
+        """EXPLAIN ANALYZE: run the query traced, render what happened.
+
+        For the compiled engine the output leads with the compiled
+        formula (what :meth:`explain` shows) followed by the observed
+        per-round cardinalities, join fan-outs, hash-table reuse and
+        timings; other engines render the trace alone.  The underlying
+        :class:`~repro.engine.trace.Trace` is available through
+        :meth:`query` with ``trace=``.
+        """
+        if isinstance(query, str):
+            query = Query.parse(query)
+        tracer = Tracer()
+        self.query(query, engine=engine, workers=workers, trace=tracer)
+        assert tracer.trace is not None
+        header = ""
+        if engine == "compiled" and self.system_for(query.predicate):
+            header = self.explain(query) + "\n\n"
+        return header + tracer.trace.render()
 
     def __repr__(self) -> str:
         return (f"DeductiveDatabase({len(self._rules)} rules, "

@@ -135,6 +135,42 @@ class TestRun:
         assert main(["run", "/nonexistent/file.dl"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("engine", ["naive", "semi-naive",
+                                        "compiled", "top-down",
+                                        "sharded"])
+    def test_run_trace_flag(self, capsys, program_file, engine):
+        code = main(["run", "--engine", engine, "--query", "P(a, Y)",
+                     "--trace", program_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip() == "P(a, c)"
+        assert f"engine={engine}" in captured.err
+        assert "answers=1" in captured.err
+
+    def test_run_trace_json(self, capsys, program_file, tmp_path):
+        import json
+        from repro.engine.trace import validate_trace_dict
+        out_file = tmp_path / "trace.json"
+        code = main(["run", "--query", "P(a, Y)",
+                     "--trace-json", str(out_file), program_file])
+        assert code == 0
+        document = json.loads(out_file.read_text(encoding="utf-8"))
+        assert document["version"] == 1
+        assert len(document["traces"]) == 1
+        validate_trace_dict(document["traces"][0])
+        assert document["traces"][0]["answers"] == 1
+
+    def test_run_trace_json_stdout(self, capsys, program_file):
+        import json
+        code = main(["run", "--query", "P(a, Y)", "--trace-json", "-",
+                     program_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        # answer lines first, then the JSON document
+        body = captured.out.split("\n", 1)[1]
+        document = json.loads(body)
+        assert document["traces"][0]["engine"] == "compiled"
+
 
 class TestRunWithQueryStatements:
     def test_file_queries_executed(self, capsys, tmp_path):

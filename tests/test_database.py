@@ -21,6 +21,16 @@ class TestConstruction:
         db = Database.from_atoms([fact("A", "a", "b"), fact("A", "a", "b")])
         assert db.count("A") == 1
 
+    def test_from_atoms_rejects_non_ground(self):
+        """Regression: an atom with a variable argument used to be
+        silently truncated to its constant prefix."""
+        from repro.datalog.atoms import Atom
+        from repro.datalog.errors import RuleValidationError
+        from repro.datalog.terms import Constant, Variable
+        atom = Atom("A", (Constant("a"), Variable("X")))
+        with pytest.raises(RuleValidationError, match="not ground"):
+            Database.from_atoms([atom])
+
     def test_from_program(self):
         program = parse_program("A(a, b).\nA(b, c).\nP(x) :- P(x).")
         db = Database.from_program(program)

@@ -19,6 +19,40 @@ class TestParse:
     def test_quoted_strings(self):
         assert Query.parse("P('Upper', X)").pattern == ("Upper", None)
 
+    def test_quoted_constant_with_comma(self):
+        """Regression: a comma inside a quoted constant used to split
+        the argument in two."""
+        query = Query.parse("P('Doe, Jane', Y)")
+        assert query.pattern == ("Doe, Jane", None)
+
+    def test_quoted_constant_with_paren(self):
+        """Regression: a ``)`` inside a quoted constant used to
+        terminate the argument list early."""
+        query = Query.parse("P('f(x))', Y)")
+        assert query.pattern == ("f(x))", None)
+
+    def test_empty_argument_list(self):
+        assert Query.parse("P()").pattern == ()
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(DatalogSyntaxError, match="unterminated"):
+            Query.parse("P('oops, Y)")
+
+    def test_unterminated_args_rejected(self):
+        with pytest.raises(DatalogSyntaxError, match="unterminated"):
+            Query.parse("P(a, b")
+
+    def test_empty_argument_rejected(self):
+        with pytest.raises(DatalogSyntaxError, match="empty argument"):
+            Query.parse("P(a,,b)")
+
+    def test_trailing_text_rejected(self):
+        with pytest.raises(DatalogSyntaxError, match="trailing"):
+            Query.parse("P(a) :- junk")
+
+    def test_trailing_question_mark_allowed(self):
+        assert Query.parse("P(a, Y)?").pattern == ("a", None)
+
     def test_question_mark_slot(self):
         assert Query.parse("P(?, a)").pattern == (None, "a")
 

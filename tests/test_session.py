@@ -41,6 +41,18 @@ class TestLoading:
         assert session.query(Query.parse("e(X, Y)")) == {
             ("a", "b"), ("b", "c")}
 
+    def test_non_ground_fact_rejected(self):
+        """Regression: a fact atom carrying a variable used to be
+        silently truncated to the prefix of its constant arguments."""
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant, Variable
+        session = DeductiveDatabase()
+        with pytest.raises(RuleValidationError, match="not ground"):
+            session._add_fact_atom(
+                Atom("parent", (Variable("X"), Constant("bea"))))
+        # nothing was half-loaded
+        assert session._edb.total_facts() == 0
+
 
 class TestStructure:
     def test_system_for_recursive_predicate(self, ddb):
@@ -96,14 +108,38 @@ class TestQuerying:
         assert ddb.query("matriline(ann, Y)") == {("ann", "bea")}
         assert ddb.query("matriline(cal, Y)") == {("cal", "dee")}
 
-    def test_unknown_predicate_is_empty(self, ddb):
-        assert ddb.query("nothing(X)") == frozenset()
+    def test_unknown_predicate_rejected(self, ddb):
+        """No rule and no facts mention the predicate: a clear error,
+        not a silently empty result (regression: used to return
+        ``frozenset()``)."""
+        with pytest.raises(EvaluationError, match="unknown predicate"):
+            ddb.query("nothing(X)")
+
+    def test_arity_mismatch_rejected(self, ddb):
+        with pytest.raises(EvaluationError, match="arity"):
+            ddb.query("anc(A, B, C)")
+        with pytest.raises(EvaluationError, match="arity"):
+            ddb.query("parent(A, B, C)")
 
     def test_stats_filled(self, ddb):
         stats = EvaluationStats()
         ddb.query("anc(ann, Y)", stats=stats)
         assert stats.answers == 3
         assert stats.probes > 0
+
+    def test_stats_filled_on_view_path(self, ddb):
+        """Regression: the non-recursive-view path used to leave the
+        caller's stats object untouched."""
+        stats = EvaluationStats()
+        answers = ddb.query("mother(X, Y)", stats=stats)
+        assert stats.engine == "view"
+        assert stats.answers == len(answers) == 2
+
+    def test_stats_filled_on_edb_path(self, ddb):
+        stats = EvaluationStats()
+        answers = ddb.query("parent(ann, Y)", stats=stats)
+        assert stats.engine == "edb"
+        assert stats.answers == len(answers) == 1
 
     def test_matches_plain_engine(self, ddb):
         answers = ddb.query("anc(X, Y)")
@@ -161,8 +197,30 @@ class TestEngineParameter:
         assert answers == ddb.query("anc(ann, Y)")
 
     def test_unknown_engine_raises(self, ddb):
-        with pytest.raises(KeyError):
+        """Regression: an unknown engine name used to surface as a raw
+        ``KeyError`` from the engine-registry lookup."""
+        with pytest.raises(EvaluationError, match="unknown engine"):
             ddb.query("anc(ann, Y)", engine="quantum")
+
+    def test_sharded_engine_accepts_workers(self, ddb):
+        answers = ddb.query("anc(ann, Y)", engine="sharded", workers=0)
+        assert answers == ddb.query("anc(ann, Y)")
+
+    def test_workers_upgrade_shardable_engines(self, ddb):
+        for engine in ("compiled", "semi-naive"):
+            stats = EvaluationStats()
+            answers = ddb.query("anc(ann, Y)", engine=engine,
+                                workers=0, stats=stats)
+            assert answers == ddb.query("anc(ann, Y)")
+            assert stats.engine == "sharded"
+
+    @pytest.mark.parametrize("engine", ["naive", "top-down"])
+    def test_workers_with_unshardable_engine_rejected(self, ddb,
+                                                      engine):
+        """Regression: ``workers=`` used to be silently ignored when an
+        explicit non-sharded engine was requested."""
+        with pytest.raises(ValueError, match="workers="):
+            ddb.query("anc(ann, Y)", engine=engine, workers=4)
 
 
 class TestProve:

@@ -1,0 +1,282 @@
+"""Unit tests for the execution-tracing layer (EXPLAIN ANALYZE)."""
+
+import json
+
+import pytest
+
+from repro.datalog.parser import parse_system
+from repro.engine import (MaterializedRecursion, SemiNaiveEngine,
+                          ShardedSemiNaiveEngine, TopDownEngine)
+from repro.engine.stats import EvaluationStats
+from repro.engine.trace import (TRACE_SCHEMA_VERSION, Tracer,
+                                validate_trace_dict)
+from repro.ra import Database
+from repro.session import DeductiveDatabase
+from repro.workloads import chain
+
+GENEALOGY = """
+    anc(x, y) :- parent(x, z), anc(z, y).
+    anc(x, y) :- parent(x, y).
+    parent(ann, bea).  parent(bea, cal).  parent(cal, dee).
+"""
+
+
+@pytest.fixture
+def ddb():
+    session = DeductiveDatabase()
+    session.load(GENEALOGY)
+    return session
+
+
+class TestTracerLifecycle:
+    def test_round_counters_are_stat_deltas(self):
+        stats = EvaluationStats()
+        tracer = Tracer()
+        tracer.begin("test", predicate="P", query="P(_)", workers=2,
+                     note="hello")
+        stats.probes, stats.hash_builds, stats.hash_lookups = 5, 1, 1
+        tracer.begin_round("delta", 3, stats)
+        stats.probes += 7
+        stats.derived += 4
+        stats.hash_builds += 1
+        stats.hash_lookups += 3
+        tracer.end_round(2, stats, depth=1)
+        trace = tracer.finish(2, stats)
+        assert trace.engine == "test"
+        assert trace.workers == 2
+        assert trace.meta == {"note": "hello"}
+        (span,) = trace.rounds
+        assert span.kind == "delta"
+        assert span.delta_in == 3 and span.delta_out == 2
+        assert span.probes == 7 and span.derived == 4
+        assert span.hash_builds == 1
+        assert span.hash_reuses == 2   # 3 lookups - 1 build
+        assert span.fan_out == pytest.approx(4 / 3)
+        assert span.detail == {"depth": 1}
+        assert trace.delta_total == 2
+
+    def test_finish_closes_unterminated_round(self):
+        tracer = Tracer()
+        tracer.begin("test")
+        tracer.begin_round("delta", 1)
+        trace = tracer.finish(0)
+        assert len(trace.rounds) == 1
+        assert trace.rounds[0].delta_out == 0
+
+    def test_rule_subspans(self):
+        stats = EvaluationStats()
+        tracer = Tracer()
+        tracer.begin("test")
+        tracer.begin_round("exit", 0, stats)
+        tracer.begin_rule("exit[0]: r", stats)
+        stats.probes += 2
+        stats.derived += 2
+        tracer.end_rule(stats)
+        tracer.end_round(2, stats)
+        trace = tracer.finish(2, stats)
+        (rule,) = trace.rounds[0].rules
+        assert rule.label == "exit[0]: r"
+        assert rule.probes == 2 and rule.derived == 2
+
+    def test_events_attach_to_round_or_trace(self):
+        tracer = Tracer()
+        tracer.begin("test")
+        tracer.event("outside", detail=1)
+        tracer.begin_round("delta", 1)
+        tracer.event("inside")
+        tracer.shards([3, 2], [0.1, 0.2])
+        tracer.end_round(1)
+        trace = tracer.finish(1)
+        assert trace.events == [{"name": "outside", "detail": 1}]
+        assert trace.rounds[0].events == [{"name": "inside"}]
+        assert trace.rounds[0].shard_sizes == [3, 2]
+        assert trace.rounds[0].shard_wall_s == [0.1, 0.2]
+
+    def test_begin_resets_for_reuse(self):
+        tracer = Tracer()
+        tracer.begin("one")
+        tracer.begin_round("delta", 1)
+        tracer.end_round(1)
+        tracer.finish(1)
+        tracer.begin("two")
+        trace = tracer.finish(0)
+        assert trace.engine == "two"
+        assert trace.rounds == []
+
+
+class TestSchema:
+    def test_round_trips_through_json(self, ddb):
+        tracer = Tracer()
+        ddb.query("anc(X, Y)", engine="semi-naive", trace=tracer)
+        document = json.loads(tracer.trace.to_json())
+        validate_trace_dict(document)
+        assert document["version"] == TRACE_SCHEMA_VERSION
+
+    def test_wrong_version_rejected(self, ddb):
+        tracer = Tracer()
+        ddb.query("anc(X, Y)", engine="semi-naive", trace=tracer)
+        document = tracer.trace.to_dict()
+        document["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            validate_trace_dict(document)
+
+    def test_missing_and_unknown_fields_rejected(self, ddb):
+        tracer = Tracer()
+        ddb.query("anc(X, Y)", engine="semi-naive", trace=tracer)
+        document = tracer.trace.to_dict()
+        document.pop("answers")
+        with pytest.raises(ValueError, match="missing"):
+            validate_trace_dict(document)
+        document = tracer.trace.to_dict()
+        document["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            validate_trace_dict(document)
+        document = tracer.trace.to_dict()
+        document["rounds"][0]["events"] = [{"no_name": True}]
+        with pytest.raises(ValueError, match="event"):
+            validate_trace_dict(document)
+
+
+class TestRender:
+    def test_render_mentions_engine_rounds_and_rules(self, ddb):
+        text = ddb.explain_analyze("anc(ann, Y)", engine="semi-naive")
+        assert "engine=semi-naive" in text
+        assert "exit[0]" in text
+        assert "delta[1]" in text
+        assert "fan-out=" in text
+        assert "hash=" in text
+
+    def test_compiled_header_has_plan_and_observations(self, ddb):
+        text = ddb.explain_analyze("anc(ann, Y)")
+        assert "strategy:" in text        # the compiled formula...
+        assert "engine=compiled" in text  # ...then the observed trace
+        assert "answers=3" in text
+
+
+class TestEngineTraces:
+    @pytest.mark.parametrize("engine", ["compiled", "semi-naive",
+                                        "naive", "top-down", "sharded"])
+    def test_every_engine_emits_a_valid_trace(self, ddb, engine):
+        tracer = Tracer()
+        answers = ddb.query("anc(X, Y)", engine=engine, trace=tracer)
+        assert tracer.trace is not None
+        validate_trace_dict(tracer.trace.to_dict())
+        assert tracer.trace.engine == ddb.ENGINES[engine].name
+        assert tracer.trace.answers == len(answers) == 6
+
+    def test_trace_does_not_change_answers(self, ddb):
+        plain = ddb.query("anc(X, Y)", engine="semi-naive")
+        traced = ddb.query("anc(X, Y)", engine="semi-naive",
+                           trace=Tracer())
+        assert plain == traced
+
+    def test_topdown_trace_has_subgoals(self, ddb):
+        tracer = Tracer()
+        ddb.query("anc(ann, Y)", engine="top-down", trace=tracer)
+        kinds = {span.kind for span in tracer.trace.rounds}
+        assert kinds == {"subgoal"}
+        assert any("anc" in span.detail.get("subgoal", "")
+                   for span in tracer.trace.rounds)
+
+    def test_incremental_trace(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict({"A": chain(3),
+                                 "P__exit": [("n3", "n3")]})
+        view = MaterializedRecursion(system, db)
+        tracer = Tracer()
+        added = view.insert("A", ("n4", "n0"), trace=tracer)
+        validate_trace_dict(tracer.trace.to_dict())
+        assert tracer.trace.engine == "incremental"
+        assert tracer.trace.rounds[0].kind == "seed"
+        assert tracer.trace.delta_total == len(added) > 0
+
+    def test_incremental_duplicate_insert_traces_zero(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict({"A": chain(3),
+                                 "P__exit": [("n3", "n3")]})
+        view = MaterializedRecursion(system, db)
+        tracer = Tracer()
+        assert view.insert("A", ("n1", "n2"), trace=tracer) == frozenset()
+        assert tracer.trace.answers == 0
+
+
+class TestShardedTraces:
+    def test_inprocess_rounds_record_shard_sizes(self, tc_system,
+                                                 tc_chain_db):
+        tracer = Tracer()
+        ShardedSemiNaiveEngine(workers=0).evaluate(
+            tc_system, tc_chain_db, trace=tracer)
+        parallel = [span for span in tracer.trace.rounds
+                    if span.shard_sizes is not None]
+        assert parallel
+        for span in parallel:
+            assert sum(span.shard_sizes) == span.delta_in
+            assert len(span.shard_wall_s) == len(span.shard_sizes)
+        validate_trace_dict(tracer.trace.to_dict())
+
+    def test_small_delta_records_sequential_event(self, tc_system,
+                                                  tc_chain_db):
+        tracer = Tracer()
+        ShardedSemiNaiveEngine(workers=2).evaluate(  # default threshold
+            tc_system, tc_chain_db, trace=tracer)
+        events = [event for span in tracer.trace.rounds
+                  for event in span.events]
+        assert any(event["name"] == "sequential_round"
+                   for event in events)
+
+    def test_pool_unavailable_records_fallback_event(
+            self, tc_system, tc_chain_db, monkeypatch):
+        monkeypatch.setattr(ShardedSemiNaiveEngine, "_ensure_pool",
+                            lambda self: None)
+        tracer = Tracer()
+        stats = EvaluationStats()
+        answers = ShardedSemiNaiveEngine(
+            workers=2, min_parallel_rows=1).evaluate(
+            tc_system, tc_chain_db, stats=stats, trace=tracer)
+        assert answers == SemiNaiveEngine().evaluate(tc_system,
+                                                     tc_chain_db)
+        events = [event for span in tracer.trace.rounds
+                  for event in span.events]
+        fallbacks = [event for event in events
+                     if event["name"] == "pool_fallback"]
+        assert len(fallbacks) == stats.pool_fallbacks > 0
+        assert fallbacks[0]["reason"] == "pool_unavailable"
+
+    def test_pool_death_records_dispatch_error(self, tc_system,
+                                               tc_chain_db):
+        class BrokenPool:
+            def map(self, fn, items):
+                raise RuntimeError("worker died")
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        engine = ShardedSemiNaiveEngine(workers=2, min_parallel_rows=1)
+        engine._ensure_pool = lambda: engine._pool
+        original_begin = engine._begin_fixpoint
+
+        def begin(system, database, run_stats):
+            original_begin(system, database, run_stats)
+            engine._pool = BrokenPool()
+
+        engine._begin_fixpoint = begin
+        tracer = Tracer()
+        engine.evaluate(tc_system, tc_chain_db, trace=tracer)
+        events = [event for span in tracer.trace.rounds
+                  for event in span.events]
+        assert {"name": "pool_fallback",
+                "reason": "dispatch_error"} in events
+
+
+class TestTopDownEngineDirect:
+    def test_bound_query_traces_root_growth(self, tc_system,
+                                            tc_chain_db):
+        from repro.engine.query import Query
+        tracer = Tracer()
+        answers = TopDownEngine().evaluate(
+            tc_system, tc_chain_db, Query.parse("P(n0, Y)"),
+            trace=tracer)
+        assert tracer.trace.delta_total == len(answers)

@@ -1,0 +1,88 @@
+"""Trace invariants, engine × catalogue class.
+
+Two properties pin the tracing layer down:
+
+* **Conservation** — for every engine and every catalogue class, the
+  sum of per-round ``delta_out`` values of a traced full evaluation
+  equals the final answer count.  Each engine counts rounds
+  differently (sweeps, deltas, depths, expansions, subgoals), but
+  "new tuples contributed" must always add up to the result.
+* **Zero overhead** — running with ``trace=None`` is the disabled
+  state: answers and the evaluation's counters are bit-identical to a
+  traced run, so tracing can never perturb what it observes.
+"""
+
+import pytest
+
+from repro.engine import (CompiledEngine, MaterializedRecursion,
+                          NaiveEngine, Query, SemiNaiveEngine,
+                          ShardedSemiNaiveEngine, TopDownEngine)
+from repro.engine.stats import EvaluationStats
+from repro.engine.trace import Tracer, validate_trace_dict
+from repro.workloads import CATALOGUE, chain, random_edb
+
+#: one catalogue representative per paper class A1 … C
+CLASS_ENTRIES = {
+    "A1": "s2a", "A3": "s4", "A4": "s5", "A5": "s1a",
+    "B": "s8", "C": "s9",
+}
+
+ENGINES = {
+    "naive": NaiveEngine,
+    "semi-naive": SemiNaiveEngine,
+    "compiled": CompiledEngine,
+    "top-down": TopDownEngine,
+    "sharded": lambda: ShardedSemiNaiveEngine(workers=0),
+}
+
+
+def _workload(name):
+    system = CATALOGUE[name].system()
+    db = random_edb(system, nodes=5, tuples_per_relation=6, seed=0)
+    return system, db, Query.all_free(system.predicate,
+                                      system.dimension)
+
+
+class TestDeltaConservation:
+    @pytest.mark.parametrize("paper_class", sorted(CLASS_ENTRIES))
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_round_deltas_sum_to_answers(self, paper_class, engine):
+        system, db, query = _workload(CLASS_ENTRIES[paper_class])
+        tracer = Tracer()
+        answers = ENGINES[engine]().evaluate(system, db, query,
+                                             trace=tracer)
+        assert tracer.trace is not None
+        validate_trace_dict(tracer.trace.to_dict())
+        assert tracer.trace.delta_total == len(answers), (
+            f"{paper_class}/{engine}: traced deltas "
+            f"{tracer.trace.delta_total} != answers {len(answers)}")
+        assert tracer.trace.answers == len(answers)
+
+    def test_incremental_deltas_sum_to_added(self):
+        from repro.datalog.parser import parse_system
+        from repro.ra import Database
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict({"A": chain(4),
+                                 "P__exit": [("n4", "n4")]})
+        view = MaterializedRecursion(system, db)
+        tracer = Tracer()
+        added = view.insert_many("A", [("n5", "n0"), ("n6", "n5")],
+                                 trace=tracer)
+        validate_trace_dict(tracer.trace.to_dict())
+        assert tracer.trace.delta_total == len(added) > 0
+
+
+class TestDisabledTracerIsFree:
+    @pytest.mark.parametrize("paper_class", sorted(CLASS_ENTRIES))
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_answers_and_stats_bit_identical(self, paper_class,
+                                             engine):
+        system, db, query = _workload(CLASS_ENTRIES[paper_class])
+        plain_stats, traced_stats = EvaluationStats(), EvaluationStats()
+        plain = ENGINES[engine]().evaluate(system, db.copy(), query,
+                                           plain_stats)
+        traced = ENGINES[engine]().evaluate(system, db.copy(), query,
+                                            traced_stats,
+                                            trace=Tracer())
+        assert plain == traced
+        assert plain_stats == traced_stats
