@@ -1,0 +1,196 @@
+"""CI smoke: boot ``repro serve``, query it, reconcile ``/metrics``.
+
+End-to-end over a real subprocess and real sockets:
+
+1. write a transitive-closure program to a temp dir and start
+   ``python -m repro serve`` on an ephemeral port (``--port 0``) with
+   ``--log-json``;
+2. run a scripted multi-query session over ``POST /query`` — several
+   engines, bound and free query forms — collecting each response's
+   per-query ``stats``;
+3. assert ``GET /healthz`` is 200, and that the counters in
+   ``GET /metrics`` (parsed with the registry's own minimal parser)
+   reconcile *exactly* with the per-query stats sums: query counts
+   per engine, and ``repro_rounds_total``/``repro_probes_total``/
+   ``repro_derived_total`` per engine;
+4. assert the structured log emitted exactly one line per query.
+
+Exits non-zero on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from collections import defaultdict
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+sys.path.insert(0, SRC)
+
+from repro.metrics import parse_prometheus_text  # noqa: E402
+
+CHAIN = 8  # nodes n0 … n8
+
+#: the scripted session: (query, engine or None for the default)
+SESSION = [
+    ("P(n0, Y)", None),
+    ("P(X, Y)", None),
+    ("P(n0, Y)", "semi-naive"),
+    ("P(X, Y)", "semi-naive"),
+    ("P(X, Y)", "naive"),
+    ("P(n0, Y)", "top-down"),
+    ("P(X, Y)", "sharded"),
+    ("A(n0, Y)", None),  # EDB path
+]
+
+
+def _program_text() -> str:
+    lines = ["P(x, y) :- A(x, z), P(z, y).", "P(x, y) :- A(x, y)."]
+    lines += [f"A(n{i}, n{i + 1})." for i in range(CHAIN)]
+    return "\n".join(lines) + "\n"
+
+
+def _expected(query: str) -> set[tuple[str, str]]:
+    closure = {(f"n{i}", f"n{j}")
+               for i in range(CHAIN) for j in range(i + 1, CHAIN + 1)}
+    if query == "P(n0, Y)":
+        return {pair for pair in closure if pair[0] == "n0"}
+    if query == "P(X, Y)":
+        return closure
+    if query == "A(n0, Y)":
+        return {("n0", "n1")}
+    raise AssertionError(query)
+
+
+def _post(base: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        base + "/query", json.dumps(document).encode("utf-8"),
+        {"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200, response.status
+        return json.loads(response.read())
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "tc.dl")
+        log_path = os.path.join(workdir, "queries.jsonl")
+        with open(program, "w", encoding="utf-8") as handle:
+            handle.write(_program_text())
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", program,
+             "--port", "0", "--log-json", log_path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), banner
+            base = banner.split("serving on ", 1)[1]
+
+            # -- the scripted session ---------------------------------
+            per_engine: dict[str, dict] = defaultdict(
+                lambda: {"queries": 0, "rounds": 0, "probes": 0,
+                         "derived": 0})
+            for query, engine in SESSION:
+                document = {"query": query}
+                if engine == "sharded":
+                    document["workers"] = 0
+                elif engine is not None:
+                    document["engine"] = engine
+                response = _post(base, document)
+                answers = {tuple(row) for row in response["answers"]}
+                if answers != _expected(query):
+                    print(f"{query} [{engine}]: wrong answers "
+                          f"({len(answers)} rows)", file=sys.stderr)
+                    failures += 1
+                bucket = per_engine[response["engine"]]
+                bucket["queries"] += 1
+                for field in ("rounds", "probes", "derived"):
+                    bucket[field] += response["stats"][field]
+
+            # -- health -----------------------------------------------
+            with urllib.request.urlopen(base + "/healthz",
+                                        timeout=30) as response:
+                assert response.status == 200
+                health = json.loads(response.read())
+            if health["queries_served"] != len(SESSION):
+                print(f"healthz served {health['queries_served']} != "
+                      f"{len(SESSION)}", file=sys.stderr)
+                failures += 1
+
+            # -- metrics reconcile exactly with per-query stats -------
+            with urllib.request.urlopen(base + "/metrics",
+                                        timeout=30) as response:
+                samples = parse_prometheus_text(
+                    response.read().decode("utf-8"))
+
+            def series_sum(name: str, **labels: str) -> float:
+                want = set(labels.items())
+                return sum(v for (n, pairs), v in samples.items()
+                           if n == name and want <= set(pairs))
+
+            for engine, bucket in per_engine.items():
+                checks = [
+                    ("repro_queries_total",
+                     series_sum("repro_queries_total", engine=engine,
+                                outcome="ok"), bucket["queries"]),
+                    ("repro_rounds_total",
+                     series_sum("repro_rounds_total", engine=engine),
+                     bucket["rounds"]),
+                    ("repro_probes_total",
+                     series_sum("repro_probes_total", engine=engine),
+                     bucket["probes"]),
+                    ("repro_derived_total",
+                     series_sum("repro_derived_total", engine=engine),
+                     bucket["derived"]),
+                ]
+                for name, got, expected in checks:
+                    if got != expected:
+                        print(f"{name}{{engine={engine}}}: metrics "
+                              f"say {got}, stats sum to {expected}",
+                              file=sys.stderr)
+                        failures += 1
+            if series_sum("repro_relation_rows",
+                          relation="A") != CHAIN:
+                print("repro_relation_rows{relation=A} wrong",
+                      file=sys.stderr)
+                failures += 1
+
+            # -- one structured log line per query --------------------
+            with open(log_path, encoding="utf-8") as handle:
+                lines = [json.loads(line) for line in handle
+                         if line.strip()]
+            if len(lines) != len(SESSION):
+                print(f"log has {len(lines)} lines, expected "
+                      f"{len(SESSION)}", file=sys.stderr)
+                failures += 1
+            if len({line["query_id"] for line in lines}) != len(lines):
+                print("duplicate query_id in log", file=sys.stderr)
+                failures += 1
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+    if failures:
+        print(f"serve smoke: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"serve smoke: {len(SESSION)} queries across "
+          f"{len(per_engine)} engines — answers, /healthz, /metrics "
+          f"and the query log all reconcile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,13 @@ sharded in-process and pooled, compiled, top-down, incremental) with a
 JSON document with
 :func:`~repro.engine.trace.validate_trace_dict`, and checks the
 delta-conservation invariant (sum of per-round ``delta_out`` equals
-the answer count).  Exits non-zero on the first violation — this is
-the drift gate for ``TRACE_SCHEMA_VERSION``.
+the answer count).  It also reconciles the trace against the stats
+dump of the same run (what ``repro run --stats-json`` writes): the
+trace's round total must equal the sum of
+``EvaluationStats.delta_sizes`` for every engine — the two
+observability surfaces must never disagree.  Exits non-zero on the
+first violation — this is the drift gate for
+``TRACE_SCHEMA_VERSION``/``STATS_SCHEMA_VERSION``.
 
 Usage::
 
@@ -24,6 +29,7 @@ from repro.engine import (CompiledEngine, MaterializedRecursion,
                           NaiveEngine, Query, SemiNaiveEngine,
                           ShardedSemiNaiveEngine, TopDownEngine,
                           Tracer, validate_trace_dict)
+from repro.engine.stats import EvaluationStats, delta_between
 from repro.ra import Database
 from repro.workloads import chain
 
@@ -49,14 +55,18 @@ def main() -> int:
 
     for label, engine in ENGINES.items():
         tracer = Tracer()
-        answers = engine.evaluate(system, db.copy(), query,
+        stats = EvaluationStats()
+        answers = engine.evaluate(system, db.copy(), query, stats,
                                   trace=tracer)
-        failures += _check(label, tracer, len(answers))
+        failures += _check(label, tracer, len(answers),
+                           stats.to_dict())
 
     view = MaterializedRecursion(system, db)
     tracer = Tracer()
+    before = view.stats.to_dict()
     added = view.insert("A", ("n9", "n0"), trace=tracer)
-    failures += _check("incremental", tracer, len(added))
+    failures += _check("incremental", tracer, len(added),
+                       delta_between(before, view.stats.to_dict()))
 
     if failures:
         print(f"trace smoke: {failures} failure(s)", file=sys.stderr)
@@ -65,7 +75,8 @@ def main() -> int:
     return 0
 
 
-def _check(label: str, tracer: Tracer, expected: int) -> int:
+def _check(label: str, tracer: Tracer, expected: int,
+           stats_dump: dict) -> int:
     if tracer.trace is None:
         print(f"{label}: no trace emitted", file=sys.stderr)
         return 1
@@ -79,8 +90,14 @@ def _check(label: str, tracer: Tracer, expected: int) -> int:
         print(f"{label}: traced deltas {tracer.trace.delta_total} != "
               f"answers {expected}", file=sys.stderr)
         return 1
+    # Trace/stats reconciliation: both layers count the same rounds.
+    stats_total = sum(stats_dump["delta_sizes"])
+    if tracer.trace.delta_total != stats_total:
+        print(f"{label}: traced deltas {tracer.trace.delta_total} != "
+              f"stats delta_sizes sum {stats_total}", file=sys.stderr)
+        return 1
     print(f"{label}: {len(document['rounds'])} rounds, "
-          f"{expected} answers — schema OK")
+          f"{expected} answers — schema OK, stats reconciled")
     return 0
 
 

@@ -41,6 +41,8 @@ from .engine import (CompiledEngine, EvaluationStats, NaiveEngine, Query,
                      SemiNaiveEngine)
 from .graphs import (IGraph, ReducedGraph, ResolutionGraph, ascii_figure,
                      build_igraph, reduce_graph, resolution_graph)
+from .logutil import QueryLogger
+from .metrics import MetricsRegistry
 from .ra import Database, Relation
 from .session import DeductiveDatabase
 
@@ -50,7 +52,8 @@ __all__ = [
     "Atom", "Boundedness", "Classification", "CompiledEngine",
     "CompiledFormula", "ComponentClass", "Constant", "Database", "DeductiveDatabase",
     "DatalogSyntaxError", "EvaluationStats", "FormulaClass", "IGraph",
-    "NaiveEngine", "Program", "Query", "RecursionSystem",
+    "MetricsRegistry", "NaiveEngine", "Program", "Query",
+    "QueryLogger", "RecursionSystem",
     "RecursiveRule", "ReducedGraph", "Relation", "ReproError",
     "ResolutionGraph", "Rule", "RuleValidationError",
     "SemiNaiveEngine", "StabilityReport", "Strategy", "Variable",

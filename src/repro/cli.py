@@ -157,7 +157,18 @@ def _cmd_prove(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dump_json(document: dict, destination: str) -> None:
+    """Write *document* to a file, or stdout when it is ``-``."""
+    if destination == "-":
+        json.dump(document, sys.stdout, ensure_ascii=False, indent=2)
+        print()
+    else:
+        with open(destination, "w", encoding="utf-8") as out:
+            json.dump(document, out, ensure_ascii=False, indent=2)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .engine.stats import STATS_SCHEMA_VERSION
     with open(args.program, encoding="utf-8") as handle:
         text = handle.read()
     program = parse_program(text)
@@ -178,31 +189,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine = ShardedSemiNaiveEngine(workers=args.workers or 0)
     else:
         engine = _ENGINES[args.engine]()
+    query_log = None
+    if args.log_json is not None:
+        from .logutil import open_query_log
+        query_log = open_query_log(args.log_json)
     tracing = args.trace or args.trace_json is not None
     traces: list[dict] = []
+    stats_dumps: list[dict] = []
+    from time import perf_counter
     for query in queries:
         stats = EvaluationStats()
         tracer = Tracer() if tracing else None
+        started = perf_counter()
         answers = engine.evaluate(system, db, query, stats,
                                   trace=tracer)
+        duration = perf_counter() - started
         for row in sorted(answers, key=repr):
             print(f"{system.predicate}"
                   f"({', '.join(str(v) for v in row)})")
         print(f"-- {query}: {len(answers)} answers   "
               f"[{stats.summary()}]", file=sys.stderr)
+        if query_log is not None:
+            from .logutil import new_query_id
+            query_log.log(
+                event="query", query_id=new_query_id(),
+                query=str(query), predicate=system.predicate,
+                engine=stats.engine,
+                formula_class=str(classify(system).formula_class),
+                rounds=stats.rounds, answers=len(answers),
+                duration_s=round(duration, 6), outcome="ok")
+        stats_dumps.append(stats.to_dict())
         if tracer is not None and tracer.trace is not None:
             if args.trace:
                 print(tracer.trace.render(), file=sys.stderr)
             traces.append(tracer.trace.to_dict())
     if args.trace_json is not None:
-        document = {"version": TRACE_SCHEMA_VERSION, "traces": traces}
-        if args.trace_json == "-":
-            json.dump(document, sys.stdout, ensure_ascii=False,
-                      indent=2)
-            print()
-        else:
-            with open(args.trace_json, "w", encoding="utf-8") as out:
-                json.dump(document, out, ensure_ascii=False, indent=2)
+        _dump_json({"version": TRACE_SCHEMA_VERSION,
+                    "traces": traces}, args.trace_json)
+    if args.stats_json is not None:
+        _dump_json({"version": STATS_SCHEMA_VERSION,
+                    "stats": stats_dumps}, args.stats_json)
+    if query_log is not None:
+        query_log.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .logutil import open_query_log
+    from .metrics import MetricsRegistry
+    from .server import QueryServer
+    from .session import DeductiveDatabase
+    with open(args.program, encoding="utf-8") as handle:
+        text = handle.read()
+    query_log = (open_query_log(args.log_json)
+                 if args.log_json is not None else None)
+    session = DeductiveDatabase(metrics=MetricsRegistry(),
+                                query_log=query_log)
+    session.load(text)
+    server = QueryServer(session, host=args.host, port=args.port,
+                         default_engine=args.engine,
+                         default_workers=args.workers)
+    # The smoke scripts read this line to find an ephemeral port.
+    print(f"serving on http://{server.host}:{server.port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        if query_log is not None:
+            query_log.close()
     return 0
 
 
@@ -301,7 +358,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace-json", metavar="FILE", default=None,
                        help="write the traces as JSON to FILE "
                             "('-' for stdout)")
+    p_run.add_argument("--stats-json", metavar="FILE", default=None,
+                       help="write each query's EvaluationStats as "
+                            "JSON to FILE ('-' for stdout)")
+    p_run.add_argument("--log-json", metavar="FILE", default=None,
+                       help="append one structured JSON log line per "
+                            "query to FILE ('-' for stderr)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a program over HTTP with metrics "
+                      "(POST /query, GET /metrics, /healthz, /stats)")
+    p_serve.add_argument("program", help="file with rules and facts")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral; the bound "
+                              "port is printed on startup)")
+    p_serve.add_argument("--engine", choices=sorted(_ENGINES),
+                         default="compiled",
+                         help="default engine for /query requests")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="default worker-pool size for /query "
+                              "requests (implies the sharded engine)")
+    p_serve.add_argument("--log-json", metavar="FILE", default=None,
+                         help="append one structured JSON log line "
+                              "per query to FILE ('-' for stderr)")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -111,6 +111,7 @@ class MaterializedRecursion:
         delta = seeds - self._total
         added = set(delta)
         self._total |= delta
+        self.stats.record_round(len(delta))
         if trace is not None:
             trace.end_round(len(delta), self.stats,
                             inserted=len(fresh))
@@ -127,6 +128,7 @@ class MaterializedRecursion:
             delta = new - self._total
             added |= delta
             self._total |= delta
+            self.stats.record_round(len(delta))
             if trace is not None:
                 trace.end_round(len(delta), self.stats)
         if trace is not None:

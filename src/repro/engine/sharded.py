@@ -78,6 +78,48 @@ def _run_shard(rows: list[tuple]
     return fresh, stats, time.perf_counter() - started
 
 
+def record_pool_health(registry, stats_delta: dict) -> None:
+    """Feed one evaluation's pool-health counters into *registry*.
+
+    *stats_delta* is a snapshot difference of
+    :meth:`~repro.engine.stats.EvaluationStats.to_dict` (see
+    :func:`~repro.engine.stats.delta_between`), so calling this once
+    per query keeps the registry totals equal to the per-query sums.
+    This module owns the sharded metric names; the generic query
+    instrumentation lives in :mod:`repro.metrics.instrument`.
+    """
+    registry.counter(
+        "repro_pool_fallbacks_total",
+        "Rounds that fell back to sequential execution (pool "
+        "unavailable, died, or dispatch error).",
+    ).inc(stats_delta.get("pool_fallbacks", 0))
+    registry.counter(
+        "repro_sequential_rounds_total",
+        "Rounds run sequentially because the delta was below the "
+        "parallelism threshold.",
+    ).inc(stats_delta.get("sequential_rounds", 0))
+    registry.counter(
+        "repro_pool_round_trip_seconds_total",
+        "Wall-clock seconds spent waiting on the worker pool.",
+    ).inc(stats_delta.get("pool_round_trip_s", 0.0))
+    shard_counts = stats_delta.get("shard_counts", ())
+    registry.counter(
+        "repro_shard_rounds_total",
+        "Partitioned rounds executed by the sharded engine.",
+    ).inc(len(shard_counts))
+    registry.counter(
+        "repro_shards_dispatched_total",
+        "Non-empty delta shards dispatched across all rounds.",
+    ).inc(sum(shard_counts))
+    skew = registry.histogram(
+        "repro_shard_skew",
+        "Max/mean shard-size ratio per partitioned round "
+        "(1.0 = perfectly balanced).",
+        buckets=(1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0))
+    for value in stats_delta.get("shard_skew", ()):
+        skew.observe(value)
+
+
 class ShardedSemiNaiveEngine(SemiNaiveEngine):
     """Semi-naive fixpoint with hash-partitioned parallel rounds.
 

@@ -12,6 +12,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Version of the JSON document emitted by ``repro run --stats-json``
+#: (a list of :meth:`EvaluationStats.to_dict` snapshots).  Bump on any
+#: field addition/removal/meaning change; ``scripts/trace_smoke.py``
+#: reconciles these dumps against the trace schema in CI.
+STATS_SCHEMA_VERSION = 1
+
+#: The monotonically accumulating scalar fields of
+#: :class:`EvaluationStats` — the ones whose snapshot difference is a
+#: meaningful per-query increment (see :func:`delta_between`).
+ACCUMULATING_FIELDS = (
+    "rounds", "probes", "derived", "plan_cache_hits",
+    "plan_cache_misses", "hash_builds", "hash_lookups",
+    "pool_round_trip_s", "pool_fallbacks", "sequential_rounds",
+)
+
+#: The append-only list fields; their snapshot difference is the tail
+#: of entries added between the two snapshots.
+ACCUMULATING_LIST_FIELDS = ("delta_sizes", "batch_sizes",
+                            "shard_counts", "shard_skew")
+
+
+def delta_between(before: dict, after: dict) -> dict:
+    """The per-query increment between two ``to_dict`` snapshots.
+
+    Scalar counters subtract; list counters return the appended tail.
+    Non-accumulating fields (``engine``, ``answers``, ``workers``,
+    ``measured_rank``) carry *after*'s value — they describe the run,
+    not an increment.  This is how a reused stats object feeds a
+    metrics registry without double counting.
+    """
+    delta: dict = {}
+    for name in ACCUMULATING_FIELDS:
+        delta[name] = after[name] - before[name]
+    for name in ACCUMULATING_LIST_FIELDS:
+        delta[name] = after[name][len(before[name]):]
+    for name in ("engine", "answers", "workers", "measured_rank"):
+        delta[name] = after[name]
+    return delta
+
 
 @dataclass
 class EvaluationStats:
@@ -81,10 +120,29 @@ class EvaluationStats:
             self.shard_skew.append(1.0)
 
     def merge(self, other: "EvaluationStats") -> None:
-        """Fold *other*'s counters into this one (sub-evaluations)."""
+        """Fold *other*'s counters into this one (sub-evaluations).
+
+        ``delta_sizes`` folds *positionally*: the merged list has the
+        element-wise maximum length and each round's new-tuple counts
+        are summed, so ``measured_rank`` after merging a
+        sub-evaluation (a parallel shard, a differentiated insert) is
+        the rank of the combined run, not of whichever part happened
+        to be folded last.  ``answers`` and ``engine`` are
+        deliberately *not* merged: ``answers`` is a query-level result
+        (the final filtered set, not additive across parts — a shard's
+        answers overlap the total), and ``engine`` is the identity of
+        the evaluation that owns this stats object, not a counter.
+        """
         self.rounds += other.rounds
         self.probes += other.probes
         self.derived += other.derived
+        if other.delta_sizes:
+            if len(other.delta_sizes) > len(self.delta_sizes):
+                self.delta_sizes.extend(
+                    [0] * (len(other.delta_sizes)
+                           - len(self.delta_sizes)))
+            for index, size in enumerate(other.delta_sizes):
+                self.delta_sizes[index] += size
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.hash_builds += other.hash_builds
@@ -96,9 +154,46 @@ class EvaluationStats:
         self.pool_fallbacks += other.pool_fallbacks
         self.sequential_rounds += other.sequential_rounds
 
+    def to_dict(self) -> dict:
+        """Every counter as a JSON-ready dict (schema
+        :data:`STATS_SCHEMA_VERSION`).
+
+        This is the exchange format of ``repro run --stats-json`` and
+        the snapshot half of the telemetry layer's snapshot-delta
+        discipline (see :func:`delta_between` and
+        :mod:`repro.metrics.instrument`): a metrics registry is fed
+        the *difference* of two snapshots taken around one query, so
+        registry totals reconcile with per-query stats by
+        construction, exactly as the tracer's round counters do.
+        """
+        return {
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "probes": self.probes,
+            "derived": self.derived,
+            "answers": self.answers,
+            "delta_sizes": list(self.delta_sizes),
+            "measured_rank": self.measured_rank,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "hash_builds": self.hash_builds,
+            "hash_lookups": self.hash_lookups,
+            "batch_sizes": list(self.batch_sizes),
+            "workers": self.workers,
+            "shard_counts": list(self.shard_counts),
+            "shard_skew": list(self.shard_skew),
+            "pool_round_trip_s": self.pool_round_trip_s,
+            "pool_fallbacks": self.pool_fallbacks,
+            "sequential_rounds": self.sequential_rounds,
+        }
+
     def summary(self) -> str:
         """One-line rendering for bench output."""
-        return (f"{self.engine}: rounds={self.rounds} probes={self.probes} "
+        line = (f"{self.engine}: rounds={self.rounds} "
+                f"probes={self.probes} "
                 f"derived={self.derived} answers={self.answers} "
                 f"plans={self.plan_cache_hits}h/{self.plan_cache_misses}m "
-                f"hash_builds={self.hash_builds}")
+                f"hash={self.hash_builds}b/{self.hash_lookups}l")
+        if self.workers:
+            line += f" workers={self.workers}"
+        return line

@@ -129,11 +129,13 @@ class TopDownEngine:
                     queued.add(fresh)
             view.new_subgoals.clear()
             grown = len(view.tables[subgoal]) - before
-            stats.record_round(grown)
+            # Like ``delta_out``, the stats count *root-table* growth,
+            # so the per-round sizes sum to the answer count and the
+            # trace and the stats dump reconcile (asserted by
+            # scripts/trace_smoke.py); the solved subgoal's own growth
+            # rides along in the trace ``detail``.
+            stats.record_round(len(view.tables[root]) - root_before)
             if trace is not None:
-                # ``delta_out`` counts *root-table* growth so the
-                # traced deltas sum to the answer count; the solved
-                # subgoal's own growth rides along in ``detail``.
                 trace.end_round(
                     len(view.tables[root]) - root_before, stats,
                     subgoal=str(Query(system.predicate, subgoal)),

@@ -1,0 +1,78 @@
+"""Structured JSON query logging: one line per query, machine-first.
+
+The third observability signal (trace = one query in depth, metrics =
+process-lifetime aggregates, logs = the event stream): every query
+answered through an instrumented session emits exactly one JSON object
+on its own line — ``query_id``, engine, formula class, rounds,
+duration, outcome — so a long-running ``repro serve`` process can be
+tailed, grepped and joined against the metrics without a log-parsing
+framework.  ``--log-json FILE`` on the CLI enables it (``-`` for
+stderr).
+
+No :mod:`logging` configuration is involved: handlers and levels are
+application policy, and a query log that silently vanishes because the
+root logger was reconfigured is worse than none.  A
+:class:`QueryLogger` owns its stream, locks around writes (the serve
+handler is threaded) and flushes per line so ``tail -f`` works.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+from typing import IO
+
+__all__ = ["QueryLogger", "new_query_id", "open_query_log"]
+
+_COUNTER = itertools.count()
+
+
+def new_query_id() -> str:
+    """A short process-unique query id (pid + monotone counter)."""
+    return f"q-{os.getpid()}-{next(_COUNTER)}"
+
+
+class QueryLogger:
+    """Writes one JSON object per line to a stream, thread-safely.
+
+    >>> import io
+    >>> logger = QueryLogger(io.StringIO())
+    >>> logger.log(event="query", query_id="q-1", outcome="ok")
+    >>> json.loads(logger.stream.getvalue())["event"]
+    'query'
+    """
+
+    def __init__(self, stream: IO[str],
+                 close_on_exit: bool = False) -> None:
+        self.stream = stream
+        self._close = close_on_exit
+        self._lock = threading.Lock()
+
+    def log(self, **fields: object) -> None:
+        """Emit one event; a ``ts`` (unix seconds) is added unless
+        the caller provided one."""
+        fields.setdefault("ts", round(time.time(), 6))
+        line = json.dumps(fields, ensure_ascii=False, sort_keys=True,
+                          default=str)
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+    def close(self) -> None:
+        if self._close:
+            self.stream.close()
+
+
+def open_query_log(path: str) -> QueryLogger:
+    """A :class:`QueryLogger` on *path* (``-`` means stderr).
+
+    Lines are appended, so restarting a server keeps the history.
+    """
+    if path == "-":
+        return QueryLogger(sys.stderr)
+    return QueryLogger(open(path, "a", encoding="utf-8"),
+                       close_on_exit=True)

@@ -1,0 +1,23 @@
+"""Service-level telemetry: thread-safe metrics with Prometheus and
+JSON exposition.
+
+See :mod:`repro.metrics.registry` for the core model (counters,
+gauges, log-bucket histograms, label sets, cardinality caps) and
+:mod:`repro.metrics.instrument` for the standard instrumentation the
+session facade and ``repro serve`` feed.  ``docs/observability.md``
+documents every exported metric name.
+"""
+
+from .instrument import (COUNT_BUCKETS, LATENCY_BUCKETS,
+                         export_database_gauges, observe_query,
+                         observe_query_error)
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       LabelCardinalityError, MetricError,
+                       MetricsRegistry, parse_prometheus_text)
+
+__all__ = [
+    "COUNT_BUCKETS", "Counter", "DEFAULT_BUCKETS", "Gauge",
+    "Histogram", "LATENCY_BUCKETS", "LabelCardinalityError",
+    "MetricError", "MetricsRegistry", "export_database_gauges",
+    "observe_query", "observe_query_error", "parse_prometheus_text",
+]

@@ -1,0 +1,160 @@
+"""Standard instrumentation: stats deltas and database state → registry.
+
+This module owns the metric *names* of the session/query layer, so
+every exposition surface (``repro serve``'s ``/metrics``, tests, the
+CI serve smoke) sees one stable vocabulary:
+
+===================================== ======================== =========
+metric                                labels                   kind
+===================================== ======================== =========
+``repro_queries_total``               engine, formula_class,   counter
+                                      outcome
+``repro_query_errors_total``          engine, error            counter
+``repro_query_duration_seconds``      engine, formula_class    histogram
+``repro_query_answers``               engine, formula_class    histogram
+``repro_rounds_total``                engine                   counter
+``repro_probes_total``                engine                   counter
+``repro_derived_total``               engine                   counter
+``repro_plan_cache_hits_total``       engine                   counter
+``repro_plan_cache_misses_total``     engine                   counter
+``repro_hash_builds_total``           engine                   counter
+``repro_hash_lookups_total``          engine                   counter
+``repro_relation_rows``               relation                 gauge
+``repro_relation_version``            relation                 gauge
+``repro_cached_hash_tables``          —                        gauge
+``repro_db_index_rebuilds``           —                        gauge
+``repro_db_hash_builds``              —                        gauge
+``repro_db_touches``                  —                        gauge
+``repro_plan_cache_size``             —                        gauge
+===================================== ======================== =========
+
+(The sharded engine's pool-health metrics are owned by
+:func:`repro.engine.sharded.record_pool_health` — same discipline,
+engine-local names.)
+
+The feed is the snapshot-delta discipline of
+:func:`repro.engine.stats.delta_between`: the session snapshots the
+query's :class:`~repro.engine.stats.EvaluationStats` around the
+evaluation and passes the difference here, so for any scripted session
+``repro_rounds_total`` equals the sum of the per-query ``rounds``
+exactly — the reconciliation the acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+from ..engine.stats import ACCUMULATING_FIELDS
+from .registry import MetricsRegistry
+
+__all__ = ["observe_query", "observe_query_error",
+           "export_database_gauges", "LATENCY_BUCKETS",
+           "COUNT_BUCKETS"]
+
+#: Query latency buckets: log scale, 100µs → 100s.
+LATENCY_BUCKETS = tuple(round(10.0 ** (e / 2), 10)
+                        for e in range(-8, 5))
+#: Answer-count buckets: log scale, 1 → 1e6.
+COUNT_BUCKETS = tuple(float(10 ** e) for e in range(7))
+
+#: stats-delta field → counter name (all labelled by ``engine``).
+_STATS_COUNTERS = {
+    "rounds": ("repro_rounds_total",
+               "Fixpoint rounds executed."),
+    "probes": ("repro_probes_total",
+               "Index probes performed by the solvers."),
+    "derived": ("repro_derived_total",
+                "Tuples derived before deduplication."),
+    "plan_cache_hits": ("repro_plan_cache_hits_total",
+                        "Join-plan compilations served from cache."),
+    "plan_cache_misses": ("repro_plan_cache_misses_total",
+                          "Join-plan compilations that missed."),
+    "hash_builds": ("repro_hash_builds_total",
+                    "Hash tables built by the join kernel."),
+    "hash_lookups": ("repro_hash_lookups_total",
+                     "Hash-table fetches by the join kernel."),
+}
+assert set(_STATS_COUNTERS) <= set(ACCUMULATING_FIELDS)
+
+
+def observe_query(registry: MetricsRegistry, *, engine: str,
+                  formula_class: str, duration_s: float, answers: int,
+                  stats_delta: dict | None = None) -> None:
+    """Record one successful query: rate, latency, size and the
+    engine-level work counters from its stats delta."""
+    registry.counter(
+        "repro_queries_total", "Queries answered, by outcome.",
+        ("engine", "formula_class", "outcome"),
+    ).inc(engine=engine, formula_class=formula_class, outcome="ok")
+    registry.histogram(
+        "repro_query_duration_seconds", "Wall-clock query latency.",
+        ("engine", "formula_class"), buckets=LATENCY_BUCKETS,
+    ).observe(duration_s, engine=engine, formula_class=formula_class)
+    registry.histogram(
+        "repro_query_answers", "Answers per query.",
+        ("engine", "formula_class"), buckets=COUNT_BUCKETS,
+    ).observe(answers, engine=engine, formula_class=formula_class)
+    if stats_delta is None:
+        return
+    for field, (name, help_text) in _STATS_COUNTERS.items():
+        amount = stats_delta.get(field, 0)
+        registry.counter(name, help_text, ("engine",)).inc(
+            amount, engine=engine)
+    if (stats_delta.get("shard_counts") or stats_delta.get("workers")
+            or stats_delta.get("pool_fallbacks")
+            or stats_delta.get("sequential_rounds")):
+        from ..engine.sharded import record_pool_health
+        record_pool_health(registry, stats_delta)
+
+
+def observe_query_error(registry: MetricsRegistry, *, engine: str,
+                        formula_class: str, error: str) -> None:
+    """Record one failed query under both the rate and error names."""
+    registry.counter(
+        "repro_queries_total", "Queries answered, by outcome.",
+        ("engine", "formula_class", "outcome"),
+    ).inc(engine=engine, formula_class=formula_class, outcome="error")
+    registry.counter(
+        "repro_query_errors_total", "Query failures by exception type.",
+        ("engine", "error"),
+    ).inc(engine=engine, error=error)
+
+
+def export_database_gauges(registry: MetricsRegistry,
+                           database) -> None:
+    """Set the point-in-time database gauges from a
+    :meth:`~repro.ra.database.Database.metrics_snapshot`.
+
+    Called at scrape/snapshot time (``GET /metrics``, ``GET /stats``),
+    never on a query path — reading relation sizes per query would be
+    overhead for a value only the scraper needs.
+    """
+    snapshot = database.metrics_snapshot()
+    rows = registry.gauge("repro_relation_rows",
+                          "Rows per stored relation.", ("relation",))
+    versions = registry.gauge(
+        "repro_relation_version",
+        "Mutation counter per relation (invalidation epoch).",
+        ("relation",))
+    for name, info in snapshot["relations"].items():
+        rows.set(info["rows"], relation=name)
+        versions.set(info["version"], relation=name)
+    registry.gauge(
+        "repro_cached_hash_tables",
+        "Hash tables currently cached on the database.",
+    ).set(snapshot["cached_hash_tables"])
+    registry.gauge(
+        "repro_db_index_rebuilds",
+        "Lazy per-position index (re)builds since process start.",
+    ).set(snapshot["index_rebuilds"])
+    registry.gauge(
+        "repro_db_hash_builds",
+        "Hash tables built for the join kernel since process start.",
+    ).set(snapshot["hash_builds"])
+    registry.gauge(
+        "repro_db_touches",
+        "Rows examined while matching since process start.",
+    ).set(snapshot["touches"])
+    from ..engine.plan import plan_cache_size
+    registry.gauge(
+        "repro_plan_cache_size",
+        "Compiled join plans in the process-wide cache.",
+    ).set(plan_cache_size())

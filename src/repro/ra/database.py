@@ -342,6 +342,25 @@ class Database:
             columns = tuple(f"c{i}" for i in range(arity))
         return Relation(columns, rows)
 
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time state for the telemetry layer's gauges.
+
+        Plain data, no metrics dependency — the registry side lives in
+        :func:`repro.metrics.instrument.export_database_gauges`, which
+        calls this at scrape time (``GET /metrics``), keeping the
+        query path free of any sampling cost.
+        """
+        return {
+            "relations": {
+                name: {"rows": len(rows),
+                       "version": self._versions.get(name, 0)}
+                for name, rows in sorted(self._relations.items())},
+            "cached_hash_tables": len(self._hash_tables),
+            "index_rebuilds": self.index_rebuilds,
+            "hash_builds": self.hash_builds,
+            "touches": self.touches,
+        }
+
     def active_domain(self) -> frozenset:
         """Every constant appearing anywhere in the database."""
         values: set = set()

@@ -1,0 +1,187 @@
+"""A monitored HTTP query server over a deductive-database session.
+
+``repro serve program.dl`` turns the reproduction into a long-lived
+service built entirely on the stdlib:
+
+* ``POST /query`` — evaluate a query; JSON in
+  (``{"query": "P(a, Y)", "engine"?: ..., "workers"?: ...}``), JSON
+  out (answers, count, duration, the query's full
+  :meth:`~repro.engine.stats.EvaluationStats.to_dict`);
+* ``GET /metrics`` — the session registry in Prometheus text
+  exposition format (database gauges refreshed at scrape time);
+* ``GET /healthz`` — liveness (200 + uptime/served counters);
+* ``GET /stats`` — the registry's JSON snapshot plus server info.
+
+The handler runs on :class:`http.server.ThreadingHTTPServer`; the
+metrics registry is thread-safe, and *evaluation* is serialised by one
+lock — the session's lazy caches (plan cache, indexes, hash tables,
+materialisation) are not designed for concurrent mutation, and a
+correct answer beats a concurrently wrong one.  Scrapes of
+``/metrics``/``/healthz`` never wait on a running query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter, time
+
+from .datalog.errors import ReproError
+from .engine.stats import EvaluationStats
+from .session import DeductiveDatabase
+
+__all__ = ["QueryServer"]
+
+
+class QueryServer:
+    """Own a :class:`ThreadingHTTPServer` bound to a session.
+
+    *session* should carry a metrics registry (``/metrics`` renders an
+    empty page otherwise); ``port=0`` binds an ephemeral port, read it
+    back from :attr:`port`.
+    """
+
+    def __init__(self, session: DeductiveDatabase,
+                 host: str = "127.0.0.1", port: int = 8080,
+                 default_engine: str = "compiled",
+                 default_workers: int | None = None) -> None:
+        self.session = session
+        self.default_engine = default_engine
+        self.default_workers = default_workers
+        self.started_at = time()
+        self.queries_served = 0
+        self._query_lock = threading.Lock()
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # one structured line per query instead
+
+            def do_GET(self):  # noqa: N802
+                server._get(self)
+
+            def do_POST(self):  # noqa: N802
+                server._post(self)
+
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+
+    def close(self) -> None:
+        self.httpd.server_close()
+
+    # -- responses -----------------------------------------------------
+
+    @staticmethod
+    def _send(handler, status: int, body: str,
+              content_type: str = "application/json") -> None:
+        payload = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type",
+                            f"{content_type}; charset=utf-8")
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    def _send_json(self, handler, status: int, document: dict) -> None:
+        self._send(handler, status,
+                   json.dumps(document, ensure_ascii=False, indent=2)
+                   + "\n")
+
+    # -- routes --------------------------------------------------------
+
+    def _get(self, handler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(handler, 200, {
+                "status": "ok",
+                "uptime_s": round(time() - self.started_at, 3),
+                "queries_served": self.queries_served,
+                "predicates": sorted(
+                    self.session.idb_predicates
+                    | set(self.session._edb.relation_names)),
+            })
+        elif path == "/metrics":
+            self.session.collect_gauges()
+            text = (self.session.metrics.render_prometheus()
+                    if self.session.metrics is not None else "")
+            self._send(handler, 200, text,
+                       content_type="text/plain; version=0.0.4")
+        elif path == "/stats":
+            self.session.collect_gauges()
+            snapshot = (self.session.metrics.snapshot()
+                        if self.session.metrics is not None
+                        else {"metrics": []})
+            snapshot["server"] = {
+                "uptime_s": round(time() - self.started_at, 3),
+                "queries_served": self.queries_served,
+            }
+            self._send_json(handler, 200, snapshot)
+        else:
+            self._send_json(handler, 404,
+                            {"error": f"unknown path {path!r}"})
+
+    def _post(self, handler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path != "/query":
+            self._send_json(handler, 404,
+                            {"error": f"unknown path {path!r}"})
+            return
+        try:
+            length = int(handler.headers.get("Content-Length", 0))
+            request = json.loads(
+                handler.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_json(handler, 400,
+                            {"error": f"bad request body: {error}"})
+            return
+        if not isinstance(request, dict) or "query" not in request:
+            self._send_json(
+                handler, 400,
+                {"error": 'request must be a JSON object with a '
+                          '"query" key'})
+            return
+        engine = request.get("engine", self.default_engine)
+        workers = request.get("workers", self.default_workers)
+        stats = EvaluationStats()
+        started = perf_counter()
+        try:
+            with self._query_lock:
+                answers = self.session.query(
+                    str(request["query"]), stats=stats, engine=engine,
+                    workers=workers)
+                self.queries_served += 1
+        except (ReproError, ValueError) as error:
+            self._send_json(handler, 400, {"error": str(error)})
+            return
+        except Exception as error:  # defensive: keep serving
+            self._send_json(
+                handler, 500,
+                {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(handler, 200, {
+            "query": str(request["query"]),
+            "engine": stats.engine or engine,
+            "count": len(answers),
+            "answers": sorted([list(row) for row in answers],
+                              key=repr),
+            "duration_s": round(perf_counter() - started, 6),
+            "stats": stats.to_dict(),
+        })

@@ -25,6 +25,7 @@ pushed into the recursion whenever its class allows.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from .core.classifier import Classification, classify
@@ -50,13 +51,21 @@ from .ra.database import Database
 class DeductiveDatabase:
     """A mutable session over rules and facts with compiled queries."""
 
-    def __init__(self, indexed: bool = True) -> None:
+    def __init__(self, indexed: bool = True, metrics=None,
+                 query_log=None) -> None:
         self._rules: list[Rule] = []
         self._edb = Database(indexed=indexed)
         self._materialised: Database | None = None
         self._plan_cache: dict[tuple[str, frozenset[int]],
                                CompiledFormula] = {}
         self._classification_cache: dict[str, Classification] = {}
+        #: optional :class:`~repro.metrics.MetricsRegistry`; when None
+        #: (the default) :meth:`query` takes the uninstrumented path —
+        #: bit-identical answers and stats, zero added work
+        self.metrics = metrics
+        #: optional :class:`~repro.logutil.QueryLogger` — one JSON
+        #: line per query when installed
+        self.query_log = query_log
 
     # -- loading -------------------------------------------------------
 
@@ -211,9 +220,27 @@ class DeductiveDatabase:
         :class:`~repro.engine.trace.Tracer` as *trace* records the
         execution; the finished :class:`~repro.engine.trace.Trace` is
         available as ``trace.trace`` afterwards.
+
+        With a metrics registry and/or query log installed on the
+        session, each call additionally records latency, answer-count
+        and work counters (snapshot-delta of the stats, so registry
+        totals reconcile with per-query stats exactly) and emits one
+        structured log line; with neither installed this method is the
+        pre-telemetry code path, unchanged.
         """
         if isinstance(query, str):
             query = Query.parse(query)
+        if self.metrics is None and self.query_log is None:
+            return self._evaluate_query(query, stats, engine, workers,
+                                        trace)
+        return self._instrumented_query(query, stats, engine, workers,
+                                        trace)
+
+    def _evaluate_query(self, query: Query,
+                        stats: EvaluationStats | None,
+                        engine: str, workers: int | None,
+                        trace: Tracer | None) -> frozenset[tuple]:
+        """The evaluation itself, free of any telemetry concern."""
         if workers is not None:
             if engine not in self._SHARDABLE:
                 raise ValueError(
@@ -273,6 +300,87 @@ class DeductiveDatabase:
             self._plan_cache[key] = compiled
         return CompiledEngine().evaluate(system, base, query, stats,
                                          compiled=compiled, trace=trace)
+
+    # -- telemetry -------------------------------------------------------
+
+    def _instrumented_query(self, query: Query,
+                            stats: EvaluationStats | None,
+                            engine: str, workers: int | None,
+                            trace: Tracer | None) -> frozenset[tuple]:
+        """Evaluate with metrics/log recording around the call.
+
+        The caller's *stats* object (when given) is used directly, so
+        it ends up bit-identical to an uninstrumented run; the
+        registry is fed the snapshot *delta*, so a stats object reused
+        across queries is never double counted.
+        """
+        from .logutil import new_query_id
+        from .metrics.instrument import (observe_query,
+                                         observe_query_error)
+        from .engine.stats import delta_between
+
+        local = stats if stats is not None else EvaluationStats()
+        query_id = new_query_id()
+        before = local.to_dict()
+        started = perf_counter()
+        try:
+            answers = self._evaluate_query(query, local, engine,
+                                           workers, trace)
+        except Exception as error:
+            duration = perf_counter() - started
+            label = self._class_label(query.predicate)
+            if self.metrics is not None:
+                observe_query_error(self.metrics, engine=engine,
+                                    formula_class=label,
+                                    error=type(error).__name__)
+            if self.query_log is not None:
+                self.query_log.log(
+                    event="query", query_id=query_id,
+                    query=str(query), predicate=query.predicate,
+                    engine=engine, formula_class=label,
+                    duration_s=round(duration, 6),
+                    outcome=type(error).__name__,
+                    error=str(error))
+            raise
+        duration = perf_counter() - started
+        delta = delta_between(before, local.to_dict())
+        label = self._class_label(query.predicate)
+        engine_label = local.engine or engine
+        if self.metrics is not None:
+            observe_query(self.metrics, engine=engine_label,
+                          formula_class=label, duration_s=duration,
+                          answers=len(answers), stats_delta=delta)
+        if self.query_log is not None:
+            self.query_log.log(
+                event="query", query_id=query_id, query=str(query),
+                predicate=query.predicate, engine=engine_label,
+                formula_class=label, rounds=delta["rounds"],
+                answers=len(answers), duration_s=round(duration, 6),
+                outcome="ok")
+        return answers
+
+    def _class_label(self, predicate: str) -> str:
+        """The ``formula_class`` label value for a predicate:
+        ``A1``…``F`` for recursive predicates, ``view`` for
+        non-recursive IDB, ``edb`` for stored relations, ``unknown``
+        when the predicate cannot be analysed (error paths)."""
+        try:
+            if predicate not in self.idb_predicates:
+                return "edb"
+            if self.system_for(predicate) is None:
+                return "view"
+            return str(self.classification(predicate).formula_class)
+        except Exception:
+            return "unknown"
+
+    def collect_gauges(self) -> None:
+        """Refresh the database/plan-cache gauges on the installed
+        registry (a no-op without one).  Scrape-time only: the server
+        calls this before rendering ``/metrics`` and ``/stats``."""
+        if self.metrics is None:
+            return
+        from .metrics.instrument import export_database_gauges
+        export_database_gauges(self.metrics, self._edb)
 
     @staticmethod
     def _check_query_arity(query: Query, arity: int) -> None:

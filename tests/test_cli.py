@@ -171,6 +171,76 @@ class TestRun:
         document = json.loads(body)
         assert document["traces"][0]["engine"] == "compiled"
 
+    def test_run_stats_json(self, capsys, program_file, tmp_path):
+        import json
+        from repro.engine.stats import STATS_SCHEMA_VERSION
+        out_file = tmp_path / "stats.json"
+        code = main(["run", "--query", "P(a, Y)",
+                     "--stats-json", str(out_file), program_file])
+        assert code == 0
+        document = json.loads(out_file.read_text(encoding="utf-8"))
+        assert document["version"] == STATS_SCHEMA_VERSION
+        [stats] = document["stats"]
+        assert stats["engine"] == "compiled"
+        assert stats["answers"] == 1
+        assert sum(stats["delta_sizes"]) >= 1
+        assert "hash_lookups" in stats
+
+    def test_run_stats_json_matches_trace_totals(self, capsys,
+                                                 program_file,
+                                                 tmp_path):
+        """The two observability dumps of one run must agree."""
+        import json
+        stats_file = tmp_path / "stats.json"
+        trace_file = tmp_path / "trace.json"
+        code = main(["run", "--query", "P(X, Y)",
+                     "--engine", "semi-naive",
+                     "--stats-json", str(stats_file),
+                     "--trace-json", str(trace_file), program_file])
+        assert code == 0
+        stats = json.loads(stats_file.read_text())["stats"][0]
+        trace = json.loads(trace_file.read_text())["traces"][0]
+        assert (sum(stats["delta_sizes"])
+                == sum(r["delta_out"] for r in trace["rounds"]))
+
+    def test_run_log_json(self, capsys, program_file, tmp_path):
+        import json
+        log_file = tmp_path / "queries.jsonl"
+        code = main(["run", "--query", "P(a, Y)",
+                     "--log-json", str(log_file), program_file])
+        assert code == 0
+        [line] = log_file.read_text().splitlines()
+        event = json.loads(line)
+        assert event["event"] == "query"
+        assert event["outcome"] == "ok"
+        assert event["formula_class"] == "A5"
+        assert event["answers"] == 1
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_parser
+        arguments = build_parser().parse_args(["serve", "prog.dl"])
+        assert arguments.host == "127.0.0.1"
+        assert arguments.port == 8080
+        assert arguments.engine == "compiled"
+        assert arguments.workers is None
+        assert arguments.log_json is None
+
+    def test_overrides(self):
+        from repro.cli import build_parser
+        arguments = build_parser().parse_args(
+            ["serve", "prog.dl", "--host", "0.0.0.0", "--port", "0",
+             "--engine", "semi-naive", "--workers", "2",
+             "--log-json", "-"])
+        assert arguments.port == 0
+        assert arguments.workers == 2
+        assert arguments.log_json == "-"
+
+    def test_missing_program_errors(self, capsys):
+        assert main(["serve", "/nonexistent/file.dl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
 
 class TestRunWithQueryStatements:
     def test_file_queries_executed(self, capsys, tmp_path):

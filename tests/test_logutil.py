@@ -1,0 +1,85 @@
+"""Structured query logging: one JSON line per event, stable ids."""
+
+import io
+import json
+import threading
+
+from repro.logutil import QueryLogger, new_query_id, open_query_log
+
+
+class TestQueryLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = QueryLogger(stream)
+        logger.log(event="query", query_id="q-1", outcome="ok")
+        logger.log(event="query", query_id="q-2", outcome="ok",
+                   answers=7)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["query_id"] == "q-1"
+        assert second["answers"] == 7
+        assert "ts" in first  # stamped automatically
+
+    def test_caller_timestamp_wins(self):
+        stream = io.StringIO()
+        QueryLogger(stream).log(event="query", ts=123.0)
+        assert json.loads(stream.getvalue())["ts"] == 123.0
+
+    def test_keys_are_sorted_for_stable_diffs(self):
+        stream = io.StringIO()
+        QueryLogger(stream).log(zebra=1, alpha=2)
+        line = stream.getvalue()
+        assert line.index("alpha") < line.index("zebra")
+
+    def test_non_serialisable_values_fall_back_to_str(self):
+        stream = io.StringIO()
+        QueryLogger(stream).log(value={1, 2}.__class__)
+        assert json.loads(stream.getvalue())  # did not raise
+
+    def test_concurrent_logging_keeps_lines_whole(self):
+        stream = io.StringIO()
+        logger = QueryLogger(stream)
+
+        def work(worker):
+            for i in range(200):
+                logger.log(worker=worker, i=i)
+
+        pool = [threading.Thread(target=work, args=(n,))
+                for n in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 800
+        for line in lines:
+            json.loads(line)  # every line is complete JSON
+
+
+class TestQueryIds:
+    def test_ids_are_unique_and_pid_scoped(self):
+        import os
+        ids = {new_query_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith(f"q-{os.getpid()}-") for i in ids)
+
+
+class TestOpenQueryLog:
+    def test_dash_means_stderr(self):
+        import sys
+        logger = open_query_log("-")
+        assert logger.stream is sys.stderr
+        logger.close()  # must not close stderr
+        assert not sys.stderr.closed
+
+    def test_file_target_appends(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        first = open_query_log(str(path))
+        first.log(n=1)
+        first.close()
+        second = open_query_log(str(path))
+        second.log(n=2)
+        second.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["n"] for line in lines] == [1, 2]

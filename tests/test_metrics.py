@@ -1,0 +1,197 @@
+"""The metrics registry core: concurrency, buckets, cardinality,
+exposition round-trip."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.metrics import (DEFAULT_BUCKETS, LabelCardinalityError,
+                           MetricError, MetricsRegistry,
+                           parse_prometheus_text)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total", "help",
+                                            ("engine",))
+        assert counter.value(engine="x") == 0
+        counter.inc(engine="x")
+        counter.inc(2.5, engine="x")
+        assert counter.value(engine="x") == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_set_must_match_declaration(self):
+        counter = MetricsRegistry().counter("c_total", "", ("engine",))
+        with pytest.raises(MetricError):
+            counter.inc()
+        with pytest.raises(MetricError):
+            counter.inc(engine="x", extra="y")
+
+    def test_concurrent_increments_land_exactly(self):
+        """8 threads, 5000 increments each — the single registry lock
+        means exactly 40000 land (the headline thread-safety claim)."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "", ("worker",))
+        histogram = registry.histogram("obs", "", buckets=(1.0, 10.0))
+        per_thread, threads = 5000, 8
+
+        def work(worker):
+            for i in range(per_thread):
+                counter.inc(worker=worker % 2)
+                histogram.observe(i % 20)
+
+        pool = [threading.Thread(target=work, args=(n,))
+                for n in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert (counter.value(worker="0") + counter.value(worker="1")
+                == threads * per_thread)
+        state = histogram._series[()]
+        assert state.count == threads * per_thread
+        assert sum(state.counts) == state.count
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+
+class TestHistogram:
+    def test_buckets_are_half_open_upper_inclusive(self):
+        """An observation equal to a bound lands in that bound's
+        bucket — the Prometheus ``le`` (less-or-equal) convention."""
+        histogram = MetricsRegistry().histogram(
+            "h", "", buckets=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0, 0.5, 1.5, 5.0):
+            histogram.observe(value)
+        state = histogram._series[()]
+        # (-inf,1], (1,2], (2,4], (4,+inf)
+        assert state.counts == [2, 2, 1, 1]
+
+    def test_rendered_buckets_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 3.0):
+            histogram.observe(value)
+        samples = parse_prometheus_text(registry.render_prometheus())
+        counts = [samples[("h_bucket", (("le", le),))]
+                  for le in ("1", "2", "+Inf")]
+        assert counts == sorted(counts)
+        assert counts[-1] == samples[("h_count", ())] == 4
+        assert samples[("h_sum", ())] == 8.0
+
+    def test_default_buckets_are_log_scale_increasing(self):
+        assert all(b2 > b1 for b1, b2
+                   in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+        ratios = [b2 / b1 for b1, b2
+                  in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])]
+        assert all(abs(r - math.sqrt(10)) < 1e-6 for r in ratios)
+
+    def test_bad_bucket_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("h1", "", buckets=())
+        with pytest.raises(MetricError):
+            registry.histogram("h2", "", buckets=(2.0, 1.0))
+
+    def test_le_is_a_reserved_label(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("h", "", ("le",))
+
+
+class TestRegistry:
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("engine",))
+        again = registry.counter("c_total", "other help", ("engine",))
+        assert first is again
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "", ("engine",))
+        with pytest.raises(MetricError):
+            registry.gauge("m", "", ("engine",))
+        with pytest.raises(MetricError):
+            registry.counter("m", "", ("other",))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("0bad")
+
+    def test_label_cardinality_guard(self):
+        """Past the cap a *new* label value raises; existing series
+        keep working — a runaway label value cannot grow the registry
+        without bound."""
+        registry = MetricsRegistry(max_label_sets=4)
+        counter = registry.counter("c_total", "", ("q",))
+        for i in range(4):
+            counter.inc(q=i)
+        with pytest.raises(LabelCardinalityError):
+            counter.inc(q="one too many")
+        counter.inc(q=0)  # existing series unaffected
+        assert counter.value(q=0) == 2
+
+    def test_snapshot_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("engine",)).inc(
+            3, engine="compiled")
+        document = json.loads(registry.render_json())
+        [metric] = document["metrics"]
+        assert metric["name"] == "c_total"
+        assert metric["type"] == "counter"
+        assert metric["series"] == [
+            {"labels": {"engine": "compiled"}, "value": 3.0}]
+
+
+class TestExpositionRoundTrip:
+    def test_everything_round_trips_through_the_parser(self):
+        """Render the registry, parse it back, and require every
+        series — including escaped label values — to survive."""
+        registry = MetricsRegistry()
+        counter = registry.counter("queries_total", "Total queries.",
+                                   ("engine", "formula_class"))
+        counter.inc(7, engine="compiled", formula_class="A1")
+        counter.inc(0.5, engine="top-down", formula_class="C")
+        gauge = registry.gauge("rows", "Rows.", ("relation",))
+        gauge.set(42, relation='we"ird\\nam\ne')  # needs escaping
+        histogram = registry.histogram("latency_seconds", "Latency.",
+                                       ("engine",),
+                                       buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value, engine="compiled")
+
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples[("queries_total",
+                        (("engine", "compiled"),
+                         ("formula_class", "A1")))] == 7
+        assert samples[("queries_total",
+                        (("engine", "top-down"),
+                         ("formula_class", "C")))] == 0.5
+        assert samples[("rows",
+                        (("relation", 'we"ird\\nam\ne'),))] == 42
+        assert samples[("latency_seconds_count",
+                        (("engine", "compiled"),))] == 4
+        assert samples[("latency_seconds_bucket",
+                        (("engine", "compiled"),
+                         ("le", "+Inf")))] == 4
+        assert samples[("latency_seconds_bucket",
+                        (("engine", "compiled"), ("le", "1")))] == 2
+
+    def test_help_and_type_lines_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "What c counts.").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total What c counts." in text
+        assert "# TYPE c_total counter" in text

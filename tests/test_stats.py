@@ -1,6 +1,10 @@
 """Unit tests for evaluation statistics."""
 
-from repro.engine.stats import EvaluationStats
+import pytest
+
+from repro.engine.stats import (ACCUMULATING_FIELDS,
+                                ACCUMULATING_LIST_FIELDS,
+                                EvaluationStats, delta_between)
 
 
 class TestMeasuredRank:
@@ -46,3 +50,99 @@ class TestCounters:
         stats = EvaluationStats(engine="compiled", probes=7)
         assert "compiled" in stats.summary()
         assert "probes=7" in stats.summary()
+
+    def test_summary_includes_hash_counters_and_workers(self):
+        stats = EvaluationStats(engine="sharded", hash_builds=3,
+                                hash_lookups=9, workers=4)
+        summary = stats.summary()
+        assert "hash=3b/9l" in summary
+        assert "workers=4" in summary
+        assert "workers" not in EvaluationStats().summary()
+
+
+class TestMerge:
+    def test_delta_sizes_fold_positionally(self):
+        """Merging a sub-evaluation (a shard, an insert) sums
+        per-round counts rather than appending its rounds — the
+        merged ``measured_rank`` is the combined run's."""
+        left = EvaluationStats()
+        for size in (4, 3, 0):
+            left.record_round(size)
+        right = EvaluationStats()
+        for size in (1, 0, 2, 5):
+            right.record_round(size)
+        left.merge(right)
+        assert left.delta_sizes == [5, 3, 2, 5]
+        assert left.rounds == 7
+        assert left.measured_rank == 3
+
+    def test_merge_into_empty(self):
+        left = EvaluationStats()
+        right = EvaluationStats()
+        right.record_round(2)
+        left.merge(right)
+        assert left.delta_sizes == [2]
+
+    def test_answers_and_engine_not_merged(self):
+        left = EvaluationStats(engine="sharded", answers=10)
+        left.merge(EvaluationStats(engine="semi-naive", answers=4))
+        assert left.engine == "sharded"
+        assert left.answers == 10
+
+
+class TestToDict:
+    def test_round_trips_every_counter(self):
+        stats = EvaluationStats(engine="compiled", probes=3,
+                                derived=2, answers=2, workers=1,
+                                hash_builds=1, hash_lookups=4)
+        stats.record_round(2)
+        document = stats.to_dict()
+        assert document["engine"] == "compiled"
+        assert document["delta_sizes"] == [2]
+        assert document["measured_rank"] == 0
+        assert document["hash_lookups"] == 4
+        # every accumulating field is present — delta_between relies
+        # on the schema being complete
+        for name in ACCUMULATING_FIELDS + ACCUMULATING_LIST_FIELDS:
+            assert name in document
+
+    def test_lists_are_copies(self):
+        stats = EvaluationStats()
+        stats.record_round(1)
+        document = stats.to_dict()
+        stats.record_round(2)
+        assert document["delta_sizes"] == [1]
+
+
+class TestDeltaBetween:
+    def test_scalars_subtract_lists_return_tail(self):
+        stats = EvaluationStats(engine="semi-naive")
+        stats.record_round(3)
+        stats.probes = 10
+        before = stats.to_dict()
+        stats.record_round(5)
+        stats.probes = 17
+        stats.answers = 8
+        delta = delta_between(before, stats.to_dict())
+        assert delta["rounds"] == 1
+        assert delta["probes"] == 7
+        assert delta["delta_sizes"] == [5]
+        # non-accumulating fields carry the after-value
+        assert delta["answers"] == 8
+        assert delta["engine"] == "semi-naive"
+
+    def test_identical_snapshots_give_zero_delta(self):
+        stats = EvaluationStats()
+        stats.record_round(4)
+        snapshot = stats.to_dict()
+        delta = delta_between(snapshot, snapshot)
+        assert all(delta[name] == 0 for name in ACCUMULATING_FIELDS)
+        assert all(delta[name] == []
+                   for name in ACCUMULATING_LIST_FIELDS)
+
+    def test_missing_field_is_an_error(self):
+        stats = EvaluationStats()
+        broken = stats.to_dict()
+        del broken["probes"]
+        with pytest.raises(KeyError):
+            delta_between(broken, stats.to_dict())
