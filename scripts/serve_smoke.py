@@ -50,6 +50,7 @@ SESSION = [
     ("P(n0, Y)", "top-down"),
     ("P(X, Y)", "sharded"),
     ("A(n0, Y)", None),  # EDB path
+    ("P(X, Y)", "semi-naive"),  # repeat: served by the answer cache
 ]
 
 
@@ -165,6 +166,23 @@ def main() -> int:
             if series_sum("repro_relation_rows",
                           relation="A") != CHAIN:
                 print("repro_relation_rows{relation=A} wrong",
+                      file=sys.stderr)
+                failures += 1
+
+            # -- dictionary-encoding telemetry ------------------------
+            # the server's database interns by default, so both
+            # storage gauges must be present and positive
+            for gauge in ("repro_symbols_total",
+                          "repro_encoded_bytes_estimate"):
+                if series_sum(gauge) <= 0:
+                    print(f"{gauge} missing or zero in /metrics",
+                          file=sys.stderr)
+                    failures += 1
+            # the repeated query in SESSION must have been served by
+            # the cross-query answer cache, and the hit must surface
+            # as the counter
+            if series_sum("repro_answer_cache_hits_total") != 1:
+                print("repro_answer_cache_hits_total != 1",
                       file=sys.stderr)
                 failures += 1
 

@@ -173,7 +173,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         text = handle.read()
     program = parse_program(text)
     system = parse_system(text)
-    db = Database.from_program(program)
+    db = Database.from_program(program, intern=not args.no_intern)
     if args.query:
         queries = [Query.parse(args.query)]
     elif program.queries:
@@ -244,7 +244,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     query_log = (open_query_log(args.log_json)
                  if args.log_json is not None else None)
     session = DeductiveDatabase(metrics=MetricsRegistry(),
-                                query_log=query_log)
+                                query_log=query_log,
+                                intern=not args.no_intern)
     session.load(text)
     server = QueryServer(session, host=args.host, port=args.port,
                          default_engine=args.engine,
@@ -364,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--log-json", metavar="FILE", default=None,
                        help="append one structured JSON log line per "
                             "query to FILE ('-' for stderr)")
+    p_run.add_argument("--no-intern", action="store_true",
+                       help="store raw value tuples instead of "
+                            "dictionary-encoded int codes (ablation; "
+                            "answers are identical)")
     p_run.set_defaults(func=_cmd_run)
 
     p_serve = sub.add_parser(
@@ -383,6 +388,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--log-json", metavar="FILE", default=None,
                          help="append one structured JSON log line "
                               "per query to FILE ('-' for stderr)")
+    p_serve.add_argument("--no-intern", action="store_true",
+                         help="store raw value tuples instead of "
+                              "dictionary-encoded int codes "
+                              "(ablation; answers are identical)")
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

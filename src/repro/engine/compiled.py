@@ -94,22 +94,29 @@ class CompiledEngine:
                         query=query,
                         strategy=compiled.strategy.name.lower())
 
+        # The strategies run in storage space: the query's constants
+        # are encoded once here, every derived row decoded once at the
+        # end.  (With intern=False ``encoded`` returns the query as
+        # is and decoding is the identity.)
+        enc_query = query.encoded(edb)
         if compiled.strategy is Strategy.BOUNDED:
             answers = self._evaluate_bounded(system, compiled.classification,
-                                             edb, query, stats, trace)
+                                             edb, enc_query, stats, trace)
         elif compiled.strategy is Strategy.STABLE:
-            answers = self._evaluate_stable(compiled.stable, edb, query,
+            answers = self._evaluate_stable(compiled.stable, edb, enc_query,
                                             stats, trace)
         elif compiled.strategy is Strategy.TRANSFORM:
-            answers = self._evaluate_stable(compiled.stable, edb, query,
+            answers = self._evaluate_stable(compiled.stable, edb, enc_query,
                                             stats, trace)
         else:
-            answers = self._evaluate_iterative(system, edb, query, stats,
-                                               trace)
-        answers = query.filter(answers)
+            answers = self._evaluate_iterative(system, edb, enc_query,
+                                               stats, trace)
+        answers = enc_query.filter(answers)
         stats.answers = len(answers)
         if trace is not None:
             trace.finish(len(answers), stats)
+        if edb.interned:
+            answers = edb.symbols.decode_rows(answers)
         return answers
 
     # -- bounded -------------------------------------------------------

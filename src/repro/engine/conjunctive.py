@@ -6,6 +6,15 @@ bindings by backtracking search with a greedy, dynamically re-ranked
 atom order — the most-bound atom (most selective access path) is
 always evaluated next, which is precisely the paper's principle that
 "join operations will be performed only after selection operations".
+
+The solver runs in *storage space*: bindings, probe patterns and
+result rows hold whatever the database stores (dense int codes under
+interning, raw values with ``intern=False`` — where the two spaces
+coincide).  Constants from the rule text are pushed through
+``database.encode_const`` at the point they enter a pattern or an
+output row; callers that seed a binding must seed storage-space
+values, and callers that surface rows to users decode them once at
+the answer boundary.
 """
 
 from __future__ import annotations
@@ -17,17 +26,23 @@ from ..datalog.terms import Constant, Term, Variable
 from ..ra.database import Database
 from .stats import EvaluationStats
 
-#: A binding maps variables to database values.
+#: A binding maps variables to storage-space database values.
 Binding = dict[Variable, object]
 
 
-def pattern_of(body_atom: Atom, binding: Mapping[Variable, object]
-               ) -> tuple:
-    """The match pattern of *body_atom* under *binding* (None = free)."""
+def pattern_of(body_atom: Atom, binding: Mapping[Variable, object],
+               encode=None) -> tuple:
+    """The match pattern of *body_atom* under *binding* (None = free).
+
+    *encode* maps rule-text constants into storage space
+    (``Database.encode_const``); binding values are storage-space
+    already.
+    """
     out: list[object | None] = []
     for term in body_atom.args:
         if isinstance(term, Constant):
-            out.append(term.value)
+            out.append(term.value if encode is None
+                       else encode(term.value))
         else:
             out.append(binding.get(term))
     return tuple(out)
@@ -80,6 +95,7 @@ def solve(database: Database, atoms: Sequence[Atom],
     1
     """
     start: Binding = dict(binding or {})
+    encode = database.encode_const if database.interned else None
 
     def backtrack(remaining: list[Atom],
                   current: Binding) -> Iterator[Binding]:
@@ -93,8 +109,9 @@ def solve(database: Database, atoms: Sequence[Atom],
                            -database.count(remaining[i].predicate)))
         chosen = remaining[best_index]
         rest = remaining[:best_index] + remaining[best_index + 1:]
-        probe_pattern = pattern_of(chosen, current)
-        for row in database.match(chosen.predicate, probe_pattern):
+        probe_pattern = pattern_of(chosen, current, encode)
+        for row in database.match_encoded(chosen.predicate,
+                                          probe_pattern):
             if stats is not None:
                 stats.probes += 1
             added = _bind(chosen, row, current)
@@ -114,12 +131,15 @@ def solve_project(database: Database, atoms: Sequence[Atom],
     """The projections of all solutions onto *out_terms*.
 
     This is rule application: *out_terms* is typically the head's
-    argument list.
+    argument list.  Rows come back in storage space — decode at the
+    answer boundary, or feed them to ``add_encoded``/``bulk_encoded``.
     """
+    encode = database.encode_const if database.interned else None
     results: set[tuple] = set()
     for solution in solve(database, atoms, binding, stats):
         row = tuple(
-            term.value if isinstance(term, Constant)
+            (term.value if encode is None else encode(term.value))
+            if isinstance(term, Constant)
             else solution[term]
             for term in out_terms)
         results.add(row)

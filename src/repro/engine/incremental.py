@@ -33,7 +33,11 @@ from .trace import Tracer
 
 
 class _WithIDB:
-    """A database view that also serves the materialised predicate."""
+    """A database view that also serves the materialised predicate.
+
+    Both the base relations and the materialised rows live in the
+    base's storage space, so the solver's patterns apply unchanged.
+    """
 
     def __init__(self, base: Database, predicate: str,
                  rows: set[tuple]) -> None:
@@ -41,9 +45,17 @@ class _WithIDB:
         self._predicate = predicate
         self._rows = rows
 
-    def match(self, name: str, pattern: tuple) -> Iterator[tuple]:
+    @property
+    def interned(self) -> bool:
+        return self._base.interned
+
+    def encode_const(self, value):
+        return self._base.encode_const(value)
+
+    def match_encoded(self, name: str,
+                      pattern: tuple) -> Iterator[tuple]:
         if name != self._predicate:
-            yield from self._base.match(name, pattern)
+            yield from self._base.match_encoded(name, pattern)
             return
         for row in self._rows:
             if all(v is None or row[i] == v
@@ -63,14 +75,19 @@ class MaterializedRecursion:
                  edb: Database | None = None) -> None:
         self._system = system
         self._db = edb.copy() if edb is not None else Database()
+        # The materialised set lives in storage space (the fixpoint's
+        # copy shares this database's symbol table, so its codes are
+        # directly valid here).
         self._total: set[tuple] = set(
-            SemiNaiveEngine().evaluate(system, self._db))
+            SemiNaiveEngine().evaluate(system, self._db, decode=False))
         self.stats = EvaluationStats(engine="incremental")
 
     @property
     def rows(self) -> frozenset[tuple]:
-        """The current materialised relation."""
-        return frozenset(self._total)
+        """The current materialised relation (value space)."""
+        if not self._db.interned:
+            return frozenset(self._total)
+        return self._db.symbols.decode_rows(self._total)
 
     @property
     def database(self) -> Database:
@@ -94,8 +111,11 @@ class MaterializedRecursion:
         if trace is not None:
             trace.begin("incremental",
                         predicate=self._system.predicate)
-        fresh = [tuple(r) for r in rows
-                 if self._db.add(predicate, tuple(r))]
+        fresh = []
+        for r in rows:
+            encoded = self._db.encode_row(tuple(r))
+            if self._db.add_encoded(predicate, encoded):
+                fresh.append(encoded)
         if not fresh:
             if trace is not None:
                 trace.finish(0, self.stats)
@@ -133,6 +153,8 @@ class MaterializedRecursion:
                 trace.end_round(len(delta), self.stats)
         if trace is not None:
             trace.finish(len(added), self.stats)
+        if self._db.interned:
+            return self._db.symbols.decode_rows(added)
         return frozenset(added)
 
     def _differentiated(self, rule: Rule, predicate: str,
@@ -153,7 +175,7 @@ class MaterializedRecursion:
                         if binding.setdefault(term, value) != value:
                             consistent = False
                             break
-                    elif term.value != value:
+                    elif self._db.encode_const(term.value) != value:
                         consistent = False
                         break
                 if not consistent:
@@ -166,7 +188,12 @@ class MaterializedRecursion:
         return len(self._total)
 
     def __contains__(self, row: tuple) -> bool:
-        return tuple(row) in self._total
+        row = tuple(row)
+        if not self._db.interned:
+            return row in self._total
+        lookup = self._db.symbols.lookup
+        codes = tuple(lookup(value) for value in row)
+        return None not in codes and codes in self._total
 
     def __repr__(self) -> str:
         return (f"MaterializedRecursion({self._system.predicate}: "

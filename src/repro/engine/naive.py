@@ -78,7 +78,9 @@ class NaiveEngine:
                     derived = solve_project(database, rule.body,
                                             rule.head.args, stats=stats)
                 for row in derived:
-                    new_tuples += database.add(rule.head.predicate, row)
+                    # derived rows are storage-space already
+                    new_tuples += database.add_encoded(
+                        rule.head.predicate, row)
                 if trace is not None:
                     trace.end_rule(stats)
             stats.record_round(new_tuples)

@@ -15,11 +15,19 @@ variables, and the columns that extend the binding layout.  The
 resulting :class:`JoinPlan` is a straight-line program executed by
 :mod:`repro.engine.setjoin` over whole delta relations at once.
 
+Plans are *storage-space* artifacts: every constant appearing in the
+body, the entry terms or the head is encoded through the database's
+symbol table at compile time, so the executing kernel never touches a
+raw value (with ``intern=False`` the encoder is the identity and the
+plan holds raw constants, exactly as before).
+
 Plans are cached process-wide.  The cache key includes a coarse
 log-scale fingerprint of the body relations' cardinalities so the
 order adapts when a relation's size changes by orders of magnitude
 (the naive engine's IDB grows between rounds) while a steady-state
-semi-naive fixpoint hits the cache on every call.
+semi-naive fixpoint hits the cache on every call — plus the symbol
+table's process-unique token, so encoded constants can never leak
+between two different code spaces.
 """
 
 from __future__ import annotations
@@ -116,9 +124,14 @@ class EntryLayout:
                 and self.take == tuple(range(len(self.take))))
 
     def batch(self, rows) -> list[tuple]:
-        """Convert delta *rows* to entry binding tuples."""
+        """Convert delta *rows* to entry binding tuples.
+
+        *rows* are storage-space tuples (the kernel contract), so the
+        identity layout is one list copy; a non-tuple row would fail
+        loudly at the first binding extension.
+        """
         if self.is_identity:
-            return [tuple(row) for row in rows]
+            return list(rows)
         out: list[tuple] = []
         for row in rows:
             if any(row[i] != row[j] for i, j in self.var_checks):
@@ -129,8 +142,14 @@ class EntryLayout:
         return out
 
 
-def entry_layout(entry_terms: Sequence[Term]) -> EntryLayout:
-    """The :class:`EntryLayout` for binding rows against *entry_terms*."""
+def entry_layout(entry_terms: Sequence[Term],
+                 encode=None) -> EntryLayout:
+    """The :class:`EntryLayout` for binding rows against *entry_terms*.
+
+    *encode* maps constant values to their storage representation
+    (``Database.encode_const``); rows handed to :meth:`EntryLayout
+    .batch` are storage-space, so the pinned constants must be too.
+    """
     variables: list[Variable] = []
     take: list[int] = []
     first_at: dict[Variable, int] = {}
@@ -138,7 +157,8 @@ def entry_layout(entry_terms: Sequence[Term]) -> EntryLayout:
     const_checks: list[tuple[int, object]] = []
     for position, term in enumerate(entry_terms):
         if isinstance(term, Constant):
-            const_checks.append((position, term.value))
+            const_checks.append((position, term.value if encode is None
+                                 else encode(term.value)))
         elif term in first_at:
             var_checks.append((first_at[term], position))
         else:
@@ -161,8 +181,8 @@ def _static_boundness(atom: Atom, bound: Mapping[Variable, int]) -> int:
 
 def _compile(body: tuple[Atom, ...], entry_terms: tuple[Term, ...],
              out_terms: tuple[Term, ...],
-             counts: Mapping[str, int]) -> JoinPlan:
-    layout = entry_layout(entry_terms)
+             counts: Mapping[str, int], encode=None) -> JoinPlan:
+    layout = entry_layout(entry_terms, encode)
     bound: dict[Variable, int] = {
         var: slot for slot, var in enumerate(layout.variables)}
     next_slot = len(bound)
@@ -170,9 +190,16 @@ def _compile(body: tuple[Atom, ...], entry_terms: tuple[Term, ...],
     remaining = list(body)
     steps: list[JoinStep] = []
     while remaining:
+        # Tie-break on the *coarse* (log-scale) cardinality — the same
+        # granularity as the cache fingerprint — so every database with
+        # an equal fingerprint compiles the identical plan.  An exact
+        # count here would let two databases share a cache entry (same
+        # fingerprint) yet deserve different atom orders, making work
+        # counters depend on which of them compiled first.
         best = max(range(len(remaining)),
-                   key=lambda i: (_static_boundness(remaining[i], bound),
-                                  -counts.get(remaining[i].predicate, 0)))
+                   key=lambda i: (
+                       _static_boundness(remaining[i], bound),
+                       -counts.get(remaining[i].predicate, 0).bit_length()))
         atom = remaining.pop(best)
         key_positions: list[int] = []
         key_sources: list[Source] = []
@@ -181,7 +208,8 @@ def _compile(body: tuple[Atom, ...], entry_terms: tuple[Term, ...],
         for position, term in enumerate(atom.args):
             if isinstance(term, Constant):
                 key_positions.append(position)
-                key_sources.append((True, term.value))
+                key_sources.append((True, term.value if encode is None
+                                    else encode(term.value)))
             elif term in bound:
                 key_positions.append(position)
                 key_sources.append((False, bound[term]))
@@ -202,7 +230,8 @@ def _compile(body: tuple[Atom, ...], entry_terms: tuple[Term, ...],
     out_sources: list[Source] = []
     for term in out_terms:
         if isinstance(term, Constant):
-            out_sources.append((True, term.value))
+            out_sources.append((True, term.value if encode is None
+                                else encode(term.value)))
         elif term in bound:
             out_sources.append((False, bound[term]))
         else:
@@ -238,14 +267,21 @@ def compile_plan(body: Sequence[Atom], entry_terms: Sequence[Term],
     entry_terms = tuple(entry_terms)
     out_terms = tuple(out_terms)
     counts: dict[str, int] = {}
+    encode = None
+    token = 0
     if database is not None:
         for atom in body:
             counts[atom.predicate] = database.count(atom.predicate)
+        if database.interned:
+            encode = database.encode_const
+        token = database.symbols_token
     # Coarse (log-scale) cardinality fingerprint: order only adapts to
     # order-of-magnitude shifts, so steady fixpoints always cache-hit.
+    # The symbol-table token pins the plan's encoded constants to one
+    # code space (a raw plan carries token 0).
     fingerprint = tuple(sorted(
         (name, count.bit_length()) for name, count in counts.items()))
-    key = (body, entry_terms, out_terms, fingerprint)
+    key = (body, entry_terms, out_terms, fingerprint, token)
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
         if stats is not None:
@@ -253,7 +289,7 @@ def compile_plan(body: Sequence[Atom], entry_terms: Sequence[Term],
         return plan
     if stats is not None:
         stats.plan_cache_misses += 1
-    plan = _compile(body, entry_terms, out_terms, counts)
+    plan = _compile(body, entry_terms, out_terms, counts, encode)
     if len(_PLAN_CACHE) >= _CACHE_LIMIT:
         _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
     _PLAN_CACHE[key] = plan

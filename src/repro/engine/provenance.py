@@ -78,7 +78,13 @@ class Derivation:
 
 def _tuple_depths(system: RecursionSystem,
                   database: Database) -> dict[tuple, int]:
-    """First-derivation depth of every tuple (semi-naive replay)."""
+    """First-derivation depth of every tuple (semi-naive replay).
+
+    Runs in value space over a decoded copy — provenance is a cold
+    path and its bindings are rendered verbatim into proof trees, so
+    decoding wholesale up front keeps everything below value-space.
+    """
+    database = database.decoded()
     depths: dict[tuple, int] = {}
     rule = system.recursive
     total: set[tuple] = set()
@@ -146,6 +152,7 @@ def explain_answer(system: RecursionSystem, database: Database,
     Pass a precomputed *depths* map (from a previous call) to explain
     many answers against one database cheaply.
     """
+    database = database.decoded()  # value-space throughout (cold path)
     if depths is None:
         depths = _tuple_depths(system, database)
     if answer not in depths:

@@ -135,13 +135,38 @@ class Query:
         """Bound position → constant value."""
         return {i: v for i, v in enumerate(self.pattern) if v is not None}
 
+    def encoded(self, database) -> "Query":
+        """This query with its constants pushed into *database*'s
+        storage space (interning them), so :meth:`matches` /
+        :meth:`filter` apply directly to stored rows.  Returns *self*
+        for a raw (``intern=False``) database, where the two spaces
+        coincide."""
+        if not database.interned:
+            return self
+        return Query(self.predicate,
+                     database.encode_pattern(self.pattern))
+
     def matches(self, row: tuple) -> bool:
         """True when *row* agrees with the pattern's constants."""
         return all(value is None or row[i] == value
                    for i, value in enumerate(self.pattern))
 
     def filter(self, rows) -> frozenset[tuple]:
-        """The rows matching the pattern."""
+        """The rows matching the pattern.
+
+        Specialised by adornment: the free query copies, a single
+        bound position compares one slot per row, and only the general
+        multi-constant pattern pays the per-row :meth:`matches` loop —
+        this sits on every engine's answer boundary, where *rows* is a
+        whole materialised fixpoint.
+        """
+        bound = [(i, v) for i, v in enumerate(self.pattern)
+                 if v is not None]
+        if not bound:
+            return frozenset(rows)
+        if len(bound) == 1:
+            (i, v), = bound
+            return frozenset(row for row in rows if row[i] == v)
         return frozenset(row for row in rows if self.matches(row))
 
     def __str__(self) -> str:

@@ -51,13 +51,20 @@ class SemiNaiveEngine:
                  query: Query | None = None,
                  stats: EvaluationStats | None = None,
                  max_rounds: int | None = None,
-                 trace: Tracer | None = None) -> frozenset[tuple]:
+                 trace: Tracer | None = None,
+                 decode: bool = True) -> frozenset[tuple]:
         """All tuples of the recursive predicate, filtered by *query*.
 
         *max_rounds* caps the recursion depth (used by rank probes);
         None runs to the natural fixpoint.  *trace* (when given)
         collects one :class:`~repro.engine.trace.RoundSpan` per round;
         ``trace=None`` adds no work to the loop.
+
+        The whole fixpoint runs in storage space; *decode* (default
+        True) converts the answers back to values at the boundary.
+        ``decode=False`` hands back storage-space rows — for callers
+        that feed them straight back into the same database
+        (materialisation, the incremental maintenance seed).
 
         >>> from ..datalog.parser import parse_system
         >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
@@ -71,7 +78,12 @@ class SemiNaiveEngine:
             stats = EvaluationStats(engine=self.name)
         else:
             stats.engine = self.name
-        database = edb.copy()
+        # The fixpoint never writes to the database (derived tuples
+        # live in plain sets), so evaluate directly on *edb* — like the
+        # compiled and top-down engines — and let the cached join
+        # tables warm up across evaluations instead of dying with a
+        # private copy.
+        database = edb
         rule = system.recursive
 
         body_rest = list(rule.nonrecursive_atoms)
@@ -123,12 +135,17 @@ class SemiNaiveEngine:
         finally:
             self._end_fixpoint(stats)
 
-        answers = frozenset(total)
-        if query is not None:
-            answers = query.filter(answers)
+        if query is None:
+            answers = frozenset(total)
+        else:
+            # Filter in storage space: the query's constants encode to
+            # the same codes the stored rows carry.
+            answers = query.encoded(database).filter(total)
         stats.answers = len(answers)
         if trace is not None:
             trace.finish(len(answers), stats)
+        if decode and database.interned:
+            answers = database.symbols.decode_rows(answers)
         return answers
 
     # -- subclass hooks --------------------------------------------------

@@ -12,6 +12,17 @@ dict lookups.
 quantity the tuple-at-a-time path counts per :meth:`Database.match`
 row — so probe-based engine comparisons stay meaningful across the
 two execution disciplines.
+
+Under dictionary encoding every binding tuple, probe key and stored
+row is made of dense int codes, which unlocks a second access path:
+single-column keys probe a plain Python *list* indexed by code
+(:meth:`Database.dense_table`) instead of hashing — no ``__hash__``,
+no ``__eq__``, one ``LIST_SUBSCR``.  :func:`probe_table` is the single
+place that picks between the two, so the sharded engine's pre-warm
+builds exactly the table the kernel will probe.  Multi-column keys and
+``intern=False`` databases keep the dict path verbatim; either way a
+(relation, key) table is built exactly once per version, so the
+``hash_builds`` counter is identical across modes.
 """
 
 from __future__ import annotations
@@ -49,21 +60,130 @@ def _probe_key_getter(step: JoinStep):
         for is_const, payload in sources)
 
 
-def _run_step(database: Database, step: JoinStep,
-              batch: list[tuple],
-              stats: EvaluationStats | None) -> list[tuple]:
-    builds_before = database.hash_builds
-    table = database.hash_table(step.predicate, step.key_positions)
-    if stats is not None:
-        stats.hash_builds += database.hash_builds - builds_before
-        stats.hash_lookups += 1
-    get_key = _probe_key_getter(step) if step.key_positions else None
-    lookup = table.get
+def probe_table(database: Database, name: str,
+                key_positions: tuple[int, ...]):
+    """The access path the kernel probes for ``(name, key_positions)``:
+    a code-indexed list for single-column keys under interning, the
+    key→rows dict otherwise.  One build per (relation, key) per
+    version in either mode."""
+    if len(key_positions) == 1:
+        dense = database.dense_table(name, key_positions[0])
+        if dense is not None:
+            return dense
+    return database.hash_table(name, key_positions)
+
+
+def _dense_probe(dense: list, step: JoinStep, batch: list[tuple],
+                 stats: EvaluationStats | None) -> list[tuple]:
+    """Probe a code-indexed list table: ``dense[code]`` is the row
+    bucket (the shared empty tuple when no row carries that code).
+    Codes interned after the build are out of range — and provably in
+    no stored row — so the bounds check doubles as the miss test."""
+    size = len(dense)
     new_positions = step.new_positions
     same_free = step.same_free
     out: list[tuple] = []
     append = out.append
     probes = 0
+    if step.key_is_all_vars:
+        slot = step.key_slots[0]
+        if len(new_positions) == 1 and not same_free:
+            # The hot shape of every linear recursion: extend each
+            # binding by one column, no intra-atom repeats.  Empty
+            # buckets are () so the whole batch runs as one C-level
+            # comprehension; every surfaced row is emitted, so the
+            # probe count is the output length.
+            position = new_positions[0]
+            try:
+                out = [binding + (row[position],)
+                       for binding in batch
+                       for row in dense[binding[slot]]]
+            except IndexError:
+                # a code interned after the build (out of range, in no
+                # stored row): redo the batch with bounds checks
+                out = []
+                append = out.append
+                for binding in batch:
+                    code = binding[slot]
+                    if code < size:
+                        for row in dense[code]:
+                            append(binding + (row[position],))
+            if stats is not None:
+                stats.probes += len(out)
+            return out
+        keys = (binding[slot] for binding in batch)
+        pairs = zip(batch, keys)
+    else:
+        code = step.key_sources[0][1]  # single constant key
+        fixed = dense[code] if code < size else _NO_ROWS
+        pairs = ((binding, None) for binding in batch)
+    for binding, code in pairs:
+        if code is None:
+            rows = fixed
+        elif code < size:
+            rows = dense[code]
+        else:
+            rows = _NO_ROWS
+        if not rows:
+            continue
+        probes += len(rows)
+        if same_free:
+            rows = [row for row in rows
+                    if all(row[i] == row[j] for i, j in same_free)]
+        if len(new_positions) == 1:
+            position = new_positions[0]
+            for row in rows:
+                append(binding + (row[position],))
+        elif not new_positions:
+            if rows:
+                append(binding)
+        else:
+            for row in rows:
+                append(binding + tuple(row[p] for p in new_positions))
+    if stats is not None:
+        stats.probes += probes
+    return out
+
+
+def _run_step(database: Database, step: JoinStep,
+              batch: list[tuple],
+              stats: EvaluationStats | None) -> list[tuple]:
+    builds_before = database.hash_builds
+    table = probe_table(database, step.predicate, step.key_positions)
+    if stats is not None:
+        stats.hash_builds += database.hash_builds - builds_before
+        stats.hash_lookups += 1
+    if type(table) is list:
+        return _dense_probe(table, step, batch, stats)
+    get_key = _probe_key_getter(step) if step.key_positions else None
+    lookup = table.get
+    new_positions = step.new_positions
+    same_free = step.same_free
+    if (get_key is None and not same_free and len(batch) == 1
+            and not batch[0]):
+        # Key-less scan from the empty binding — the shape of every
+        # exit rule and every fixpoint-seeding first step.  When the
+        # atom binds each column in order the output bindings ARE the
+        # stored rows, so the whole step is one list copy.
+        rows = lookup((), _NO_ROWS)
+        if stats is not None:
+            stats.probes += len(rows)
+        if not rows:
+            return []
+        if not new_positions:
+            return [()]
+        if new_positions == tuple(range(len(rows[0]))):
+            return list(rows)
+        if len(new_positions) == 1:
+            position = new_positions[0]
+            return [(row[position],) for row in rows]
+        emit = itemgetter(*new_positions)
+        return [emit(row) for row in rows]
+    out: list[tuple] = []
+    append = out.append
+    probes = 0
+    emit = (itemgetter(*new_positions)
+            if len(new_positions) > 1 else None)
     for binding in batch:
         rows = lookup(get_key(binding) if get_key else (), _NO_ROWS)
         if not rows:
@@ -81,8 +201,7 @@ def _run_step(database: Database, step: JoinStep,
                 append(binding)
         else:
             for row in rows:
-                append(binding
-                       + tuple(row[p] for p in new_positions))
+                append(binding + emit(row))
     if stats is not None:
         stats.probes += probes
     return out
@@ -100,6 +219,78 @@ def join_batch(database: Database, plan: JoinPlan,
     return current
 
 
+def _fused_final_rows(database: Database, plan: JoinPlan,
+                      batch: list[tuple],
+                      stats: EvaluationStats | None) -> list[tuple] | None:
+    """Output rows of *plan* with the projection fused into the last
+    probe, or None when the shape doesn't qualify.
+
+    For the hot linear-recursion shape — last step probes a dense
+    (code-indexed) table on one bound slot, binds one new column, and
+    the head projects two variables of which exactly one is that new
+    column — the intermediate extended binding tuple is never needed:
+    the probe loop can emit the projected output row directly.  Only
+    the dense path qualifies, so ``intern=False`` keeps the unfused
+    pipeline verbatim.  Probe/derived accounting is identical to the
+    unfused path (every surfaced row emits exactly one output row).
+    """
+    steps = plan.steps
+    if not steps:
+        return None
+    step = steps[-1]
+    if (step.same_free or not step.key_is_all_vars
+            or len(step.key_positions) != 1
+            or len(step.new_positions) != 1):
+        return None
+    sources = plan.out_sources
+    if len(sources) != 2 or any(is_const for is_const, _ in sources):
+        return None
+    width_before = plan.width - 1
+    s0, s1 = sources[0][1], sources[1][1]
+    if (s0 == width_before) == (s1 == width_before):
+        return None  # neither (or both) outputs the new column
+    if not database.interned:
+        return None
+    for earlier in steps[:-1]:
+        if not batch:
+            return []
+        batch = _run_step(database, earlier, batch, stats)
+    if not batch:
+        return []
+    builds_before = database.hash_builds
+    dense = database.dense_table(step.predicate, step.key_positions[0])
+    if stats is not None:
+        stats.hash_builds += database.hash_builds - builds_before
+        stats.hash_lookups += 1
+    slot = step.key_slots[0]
+    position = step.new_positions[0]
+    new_first = s0 == width_before
+    keep = s1 if new_first else s0
+    try:
+        if new_first:
+            out = [(row[position], binding[keep])
+                   for binding in batch
+                   for row in dense[binding[slot]]]
+        else:
+            out = [(binding[keep], row[position])
+                   for binding in batch
+                   for row in dense[binding[slot]]]
+    except IndexError:
+        # a code interned after the build — out of range, in no row
+        size = len(dense)
+        out = []
+        append = out.append
+        for binding in batch:
+            code = binding[slot]
+            if code < size:
+                for row in dense[code]:
+                    append((row[position], binding[keep]) if new_first
+                           else (binding[keep], row[position]))
+    if stats is not None:
+        stats.probes += len(out)
+    return out
+
+
 def execute_plan(database: Database, plan: JoinPlan,
                  batch: Iterable[tuple],
                  stats: EvaluationStats | None = None) -> set[tuple]:
@@ -109,6 +300,13 @@ def execute_plan(database: Database, plan: JoinPlan,
     binding and unioning — property-tested in
     ``tests/test_setjoin_properties.py``.
     """
+    if not isinstance(batch, list):
+        batch = list(batch)
+    fused = _fused_final_rows(database, plan, batch, stats)
+    if fused is not None:
+        if stats is not None:
+            stats.derived += len(fused)
+        return set(fused)
     bindings = join_batch(database, plan, batch, stats)
     if stats is not None:
         stats.derived += len(bindings)
@@ -117,6 +315,8 @@ def execute_plan(database: Database, plan: JoinPlan,
     sources = plan.out_sources
     if all(not is_const for is_const, _ in sources):
         slots = tuple(payload for _, payload in sources)
+        if slots == tuple(range(plan.width)):
+            return set(bindings)  # head == layout: no projection
         if len(slots) == 1:
             slot = slots[0]
             return {(binding[slot],) for binding in bindings}
@@ -138,7 +338,8 @@ def apply_rule(database: Database, body: Sequence[Atom],
     ``solve_project`` loop of the fixpoint engines.
     """
     plan = compile_plan(body, entry_terms, out_terms, database, stats)
-    batch = entry_layout(tuple(entry_terms)).batch(rows)
+    encode = database.encode_const if database.interned else None
+    batch = entry_layout(tuple(entry_terms), encode).batch(rows)
     if stats is not None:
         stats.record_batch(len(batch))
     return execute_plan(database, plan, batch, stats)

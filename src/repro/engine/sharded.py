@@ -37,7 +37,7 @@ from ..ra.database import Database
 from .partition import partition_rows, probe_key_positions
 from .plan import compile_plan, entry_layout
 from .seminaive import SemiNaiveEngine
-from .setjoin import apply_rule
+from .setjoin import apply_rule, probe_table
 from .stats import EvaluationStats
 
 #: Per-process worker state, filled in by :func:`_init_worker`.
@@ -46,7 +46,16 @@ _WORKER_STATE: dict = {}
 
 def _init_worker(database: Database, body, entry_terms,
                  out_terms) -> None:
-    """Pool initializer: pin the snapshot and rule pieces."""
+    """Pool initializer: pin the snapshot and rule pieces.
+
+    The snapshot's symbol table is frozen: every constant the rounds
+    can mention was interned in the parent before the pool was
+    created (rule and query constants at plan-compile time, facts at
+    load time), so a worker that tries to intern something new has a
+    code-space bug — better a loud KeyError than silently divergent
+    codes.
+    """
+    database.freeze_symbols()
     _WORKER_STATE["database"] = database
     _WORKER_STATE["body"] = body
     _WORKER_STATE["entry_terms"] = entry_terms
@@ -219,7 +228,9 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
                               head_args, delta, stats)
         plan = compile_plan(body_rest, recursive_vars, head_args,
                             database, stats)
-        layout = entry_layout(tuple(recursive_vars))
+        layout = entry_layout(
+            tuple(recursive_vars),
+            database.encode_const if database.interned else None)
         key_positions = probe_key_positions(plan, layout)
         shards = [shard for shard in
                   partition_rows(delta, key_positions,
@@ -239,13 +250,15 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
                 trace.shards(sizes, walls)
             return new
         if self._pool is None and not self._pool_broken:
-            # Warm the plan's hash tables in the parent before the pool
-            # forks: children inherit built tables through copy-on-write
-            # pages instead of each rebuilding them from raw rows.
+            # Warm the plan's probe tables in the parent before the
+            # pool forks: children inherit built tables through
+            # copy-on-write pages instead of each rebuilding them from
+            # raw rows.  probe_table picks the same access path the
+            # kernel will use (dense list vs dict).
             for step in plan.steps:
                 if step.key_positions:
-                    database.hash_table(step.predicate,
-                                        step.key_positions)
+                    probe_table(database, step.predicate,
+                                step.key_positions)
         pool = self._ensure_pool()
         if pool is None:
             stats.pool_fallbacks += 1

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 #: (a list of :meth:`EvaluationStats.to_dict` snapshots).  Bump on any
 #: field addition/removal/meaning change; ``scripts/trace_smoke.py``
 #: reconciles these dumps against the trace schema in CI.
-STATS_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 2
 
 #: The monotonically accumulating scalar fields of
 #: :class:`EvaluationStats` — the ones whose snapshot difference is a
@@ -25,6 +25,7 @@ ACCUMULATING_FIELDS = (
     "rounds", "probes", "derived", "plan_cache_hits",
     "plan_cache_misses", "hash_builds", "hash_lookups",
     "pool_round_trip_s", "pool_fallbacks", "sequential_rounds",
+    "answer_cache_hits",
 )
 
 #: The append-only list fields; their snapshot difference is the tail
@@ -86,6 +87,9 @@ class EvaluationStats:
     #: rounds run sequentially because the delta was below the
     #: parallelism threshold (tiny shards are not worth the IPC)
     sequential_rounds: int = 0
+    #: queries answered from the session's cross-query answer cache
+    #: (the evaluation was skipped outright)
+    answer_cache_hits: int = 0
 
     def record_round(self, new_tuples: int) -> None:
         """Log one fixpoint round and its new-tuple count."""
@@ -153,6 +157,7 @@ class EvaluationStats:
         self.pool_round_trip_s += other.pool_round_trip_s
         self.pool_fallbacks += other.pool_fallbacks
         self.sequential_rounds += other.sequential_rounds
+        self.answer_cache_hits += other.answer_cache_hits
 
     def to_dict(self) -> dict:
         """Every counter as a JSON-ready dict (schema
@@ -185,6 +190,7 @@ class EvaluationStats:
             "pool_round_trip_s": self.pool_round_trip_s,
             "pool_fallbacks": self.pool_fallbacks,
             "sequential_rounds": self.sequential_rounds,
+            "answer_cache_hits": self.answer_cache_hits,
         }
 
     def summary(self) -> str:

@@ -32,8 +32,10 @@ from .trace import Tracer
 class _GoalView:
     """A database view that tables probes of the recursive predicate.
 
-    Quacks like :class:`Database` for the conjunctive solver (match /
-    count), delegating every relation except *predicate* to the base.
+    Quacks like :class:`Database` for the conjunctive solver
+    (match_encoded / count / the encoding surface), delegating every
+    relation except *predicate* to the base.  Subgoal patterns, table
+    rows and solver bindings all live in the base's storage space.
     """
 
     def __init__(self, base: Database, predicate: str) -> None:
@@ -56,9 +58,17 @@ class _GoalView:
             self.tables[pattern] = set()
             self.new_subgoals.append(pattern)
 
-    def match(self, name: str, pattern: tuple) -> Iterator[tuple]:
+    @property
+    def interned(self) -> bool:
+        return self._base.interned
+
+    def encode_const(self, value):
+        return self._base.encode_const(value)
+
+    def match_encoded(self, name: str,
+                      pattern: tuple) -> Iterator[tuple]:
         if name != self._predicate:
-            yield from self._base.match(name, pattern)
+            yield from self._base.match_encoded(name, pattern)
             return
         subgoal = self._generalise(pattern)
         self.register(subgoal)
@@ -102,19 +112,33 @@ class TopDownEngine:
             trace.begin(self.name, predicate=system.predicate,
                         query=query)
         view = _GoalView(edb, system.predicate)
-        root = tuple(query.pattern)
+        # Subgoals are storage-space patterns: the root query's
+        # constants are encoded once here; every tabled row is a code
+        # tuple until the final decode.
+        enc_query = query.encoded(edb)
+        root = tuple(enc_query.pattern)
         view.register(root)
         rules = [system.recursive.rule, *system.exits]
 
         # Worklist QSQR: a subgoal is re-solved only when one of the
-        # subgoals it probes has grown (or when it is new).
+        # subgoals it probes has grown (or when it is new).  Pops go in
+        # *decoded*-pattern order: subgoal patterns are storage-space
+        # tuples whose hash order differs between ``intern=True`` (int
+        # codes) and ``intern=False`` (raw values), and a hash-ordered
+        # pop would leak that difference into the round sequence.  All
+        # other per-round quantities are functions of (table state,
+        # chosen subgoal) alone, so a mode-independent pop order makes
+        # the whole trace mode-independent (property-tested in
+        # tests/test_symbols_properties.py).
+        def sort_key(pattern: tuple) -> str:
+            return repr(edb.decode_pattern(pattern))
+
         dependents: dict[tuple, set[tuple]] = {}
-        queue: list[tuple] = [root]
-        queued: set[tuple] = {root}
+        queue: dict[tuple, str] = {root: sort_key(root)}
         view.new_subgoals.clear()
         while queue:
-            subgoal = queue.pop()
-            queued.discard(subgoal)
+            subgoal = min(queue, key=queue.get)  # type: ignore[arg-type]
+            del queue[subgoal]
             before = len(view.tables[subgoal])
             root_before = len(view.tables[root])
             if trace is not None:
@@ -124,9 +148,8 @@ class TopDownEngine:
             for probed in view.probed:
                 dependents.setdefault(probed, set()).add(subgoal)
             for fresh in view.new_subgoals:
-                if fresh not in queued:
-                    queue.append(fresh)
-                    queued.add(fresh)
+                if fresh not in queue:
+                    queue[fresh] = sort_key(fresh)
             view.new_subgoals.clear()
             grown = len(view.tables[subgoal]) - before
             # Like ``delta_out``, the stats count *root-table* growth,
@@ -136,20 +159,24 @@ class TopDownEngine:
             # rides along in the trace ``detail``.
             stats.record_round(len(view.tables[root]) - root_before)
             if trace is not None:
+                # Render the subgoal in value space so trace output is
+                # identical whichever storage mode ran it.
                 trace.end_round(
                     len(view.tables[root]) - root_before, stats,
-                    subgoal=str(Query(system.predicate, subgoal)),
+                    subgoal=str(Query(system.predicate,
+                                      edb.decode_pattern(subgoal))),
                     table_growth=grown)
             if grown:
                 for waiter in dependents.get(subgoal, ()):
-                    if waiter not in queued:
-                        queue.append(waiter)
-                        queued.add(waiter)
+                    if waiter not in queue:
+                        queue[waiter] = sort_key(waiter)
 
-        answers = query.filter(view.tables[root])
+        answers = enc_query.filter(view.tables[root])
         stats.answers = len(answers)
         if trace is not None:
             trace.finish(len(answers), stats)
+        if edb.interned:
+            answers = edb.symbols.decode_rows(answers)
         return answers
 
     def _solve_subgoal(self, system: RecursionSystem, view: _GoalView,

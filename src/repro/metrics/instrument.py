@@ -19,6 +19,7 @@ metric                                labels                   kind
 ``repro_plan_cache_misses_total``     engine                   counter
 ``repro_hash_builds_total``           engine                   counter
 ``repro_hash_lookups_total``          engine                   counter
+``repro_answer_cache_hits_total``     engine                   counter
 ``repro_relation_rows``               relation                 gauge
 ``repro_relation_version``            relation                 gauge
 ``repro_cached_hash_tables``          —                        gauge
@@ -26,6 +27,8 @@ metric                                labels                   kind
 ``repro_db_hash_builds``              —                        gauge
 ``repro_db_touches``                  —                        gauge
 ``repro_plan_cache_size``             —                        gauge
+``repro_symbols_total``               —                        gauge
+``repro_encoded_bytes_estimate``      —                        gauge
 ===================================== ======================== =========
 
 (The sharded engine's pool-health metrics are owned by
@@ -71,6 +74,9 @@ _STATS_COUNTERS = {
                     "Hash tables built by the join kernel."),
     "hash_lookups": ("repro_hash_lookups_total",
                      "Hash-table fetches by the join kernel."),
+    "answer_cache_hits": ("repro_answer_cache_hits_total",
+                          "Queries served from the session's "
+                          "cross-query answer cache."),
 }
 assert set(_STATS_COUNTERS) <= set(ACCUMULATING_FIELDS)
 
@@ -153,6 +159,16 @@ def export_database_gauges(registry: MetricsRegistry,
         "repro_db_touches",
         "Rows examined while matching since process start.",
     ).set(snapshot["touches"])
+    registry.gauge(
+        "repro_symbols_total",
+        "Constants interned in the database's symbol table "
+        "(0 with intern=False).",
+    ).set(snapshot["symbols"])
+    registry.gauge(
+        "repro_encoded_bytes_estimate",
+        "Approximate bytes of encoded fact storage (tuple slots "
+        "plus dictionary payload).",
+    ).set(snapshot["encoded_bytes_estimate"])
     from ..engine.plan import plan_cache_size
     registry.gauge(
         "repro_plan_cache_size",

@@ -5,26 +5,45 @@ the IDB) as mutable sets of tuples keyed by predicate name, with
 per-position hash indexes built lazily and invalidated on insertion —
 the access-path layer every engine shares.
 
+Storage is *dictionary encoded* by default: a shared
+:class:`~repro.ra.symbols.SymbolTable` interns every constant to a
+dense non-negative int on the way in, rows are stored as int tuples,
+and decoding happens exactly once at the answer boundary.  Two layers
+of API coexist:
+
+* the **value-space** methods (:meth:`add`, :meth:`bulk`,
+  :meth:`rows`, :meth:`match`, …) keep their historical semantics —
+  values in, values out — so users, tests and the I/O layer never see
+  a code;
+* the **storage-space** methods (:meth:`add_encoded`,
+  :meth:`rows_encoded`, :meth:`match_encoded`, :meth:`hash_table`,
+  :meth:`dense_table`) speak int tuples and are what the engines run
+  on.  With ``intern=False`` the two layers coincide and every code
+  path is the verbatim pre-encoding one.
+
 Two kinds of access path coexist:
 
 * per-position indexes (``_index``) backing tuple-at-a-time
-  :meth:`match` probes;
+  :meth:`match_encoded` probes;
 * multi-column hash tables (:meth:`hash_table`) backing the
   set-at-a-time join plans of :mod:`repro.engine.setjoin`, keyed by an
   arbitrary column combination and invalidated by a per-relation
-  version counter.
+  version counter — plus, under interning, :meth:`dense_table`:
+  single-column tables stored as plain lists indexed by key *code*,
+  the array access path dictionary encoding exists to enable.
 
 Bulk loads bump the version once per call instead of once per row, so
 a 10k-row load invalidates each derived structure a single time.
 Removals (:meth:`remove`, :meth:`bulk_remove`) go through the same
 version discipline, so cached hash tables never serve deleted rows.
 
-Databases pickle as *snapshots*: only the rows, arities and version
-counters cross the wire — lazily built indexes and hash tables are
-dropped and rebuilt on first use in the receiving process.  This is
-the serialization boundary the sharded engine's worker pool relies on
-(each worker re-derives its own hash tables once, then reuses them
-across every round because the snapshot's versions never move).
+Databases pickle as *snapshots*: rows, arities, version counters and
+the symbol table cross the wire — lazily built indexes and hash tables
+are dropped and rebuilt on first use in the receiving process.  This
+is the serialization boundary the sharded engine's worker pool relies
+on: the symbol table ships once per pool warm-up, after which every
+delta shard is pure int tuples (each worker freezes its snapshot's
+table, so a code-space mix-up fails loudly).
 """
 
 from __future__ import annotations
@@ -36,9 +55,13 @@ from ..datalog.errors import EvaluationError, RuleValidationError
 from ..datalog.program import Program
 from ..datalog.terms import Constant
 from .relation import Relation
+from .symbols import SymbolTable
 
 #: A match pattern: one entry per position, None meaning "any value".
 Pattern = tuple
+
+#: Sentinel for "pattern constant was never interned" (matches nothing).
+_UNSEEN = object()
 
 
 class Database:
@@ -53,7 +76,8 @@ class Database:
     [('a', 'b')]
     """
 
-    def __init__(self, indexed: bool = True) -> None:
+    def __init__(self, indexed: bool = True,
+                 intern: bool = True) -> None:
         self._relations: dict[str, set[tuple]] = {}
         self._arities: dict[str, int] = {}
         self._indexes: dict[tuple[str, int], dict[object, set[tuple]]] = {}
@@ -64,6 +88,13 @@ class Database:
         #: keyed by (relation, key-columns) → (version, key → row list)
         self._hash_tables: dict[tuple[str, tuple[int, ...]],
                                 tuple[int, dict]] = {}
+        #: dense (list-indexed) single-column tables, interned mode
+        #: only, keyed by (relation, column) → (version, list)
+        self._dense_tables: dict[tuple[str, int],
+                                 tuple[int, list]] = {}
+        #: the constant dictionary; None runs the raw value-tuple path
+        self._symbols: SymbolTable | None = (SymbolTable() if intern
+                                             else None)
         #: >0 while inside :meth:`bulk`: index/version upkeep deferred
         self._bulk_depth = 0
         #: relations mutated while inside a bulk operation; each gets
@@ -77,18 +108,110 @@ class Database:
         #: loading show up here as a rebuild count ≈ row count
         self.index_rebuilds = 0
         #: hash tables built for the set-at-a-time join kernel
+        #: (dense tables count here too — same build, different shape)
         self.hash_builds = 0
+
+    # -- encoding boundary ----------------------------------------------
+
+    @property
+    def symbols(self) -> SymbolTable | None:
+        """The shared constant dictionary (None with ``intern=False``)."""
+        return self._symbols
+
+    @property
+    def interned(self) -> bool:
+        """True when rows are stored dictionary-encoded."""
+        return self._symbols is not None
+
+    @property
+    def symbols_token(self) -> int:
+        """Process-unique id of this database's code space (0 = raw).
+
+        Caches keyed by encoded constants (the join-plan cache) include
+        this so plans never leak codes across symbol tables.
+        """
+        return self._symbols.token if self._symbols is not None else 0
+
+    def encode_const(self, value):
+        """Storage representation of one constant (interns it)."""
+        if self._symbols is None:
+            return value
+        return self._symbols.encode(value)
+
+    def encode_row(self, row: tuple) -> tuple:
+        """Storage representation of a value row (interns)."""
+        if self._symbols is None:
+            return tuple(row)
+        return self._symbols.encode_row(row)
+
+    def decode_row(self, row: tuple) -> tuple:
+        """Value representation of a stored row."""
+        if self._symbols is None:
+            return tuple(row)
+        return self._symbols.decode_row(row)
+
+    def encode_pattern(self, pattern: Pattern) -> Pattern:
+        """Encode a match pattern, preserving None wildcards
+        (interning the constants — used for query patterns, so the
+        evaluation machinery runs identically whether or not the
+        constant can match anything)."""
+        if self._symbols is None:
+            return tuple(pattern)
+        encode = self._symbols.encode
+        return tuple(None if v is None else encode(v) for v in pattern)
+
+    def decode_pattern(self, pattern: Pattern) -> Pattern:
+        """Decode a storage-space pattern, preserving None wildcards."""
+        if self._symbols is None:
+            return tuple(pattern)
+        decode = self._symbols.decode
+        return tuple(None if v is None else decode(v) for v in pattern)
+
+    def _lookup_pattern(self, pattern: Pattern) -> Pattern | None:
+        """Encode a pattern without interning; None when a constant
+        was never seen (such a pattern cannot match any stored row)."""
+        lookup = self._symbols.lookup
+        out = []
+        for value in pattern:
+            if value is None:
+                out.append(None)
+            else:
+                code = lookup(value)
+                if code is None:
+                    return None
+                out.append(code)
+        return tuple(out)
+
+    def freeze_symbols(self) -> None:
+        """Freeze the symbol table (worker-side snapshot discipline)."""
+        if self._symbols is not None:
+            self._symbols.freeze()
+
+    def decoded(self) -> "Database":
+        """A raw (``intern=False``) copy holding decoded value rows —
+        for cold paths that want to work in value space wholesale
+        (provenance reconstruction).  Returns *self* when already raw."""
+        if self._symbols is None:
+            return self
+        db = Database(indexed=self.indexed, intern=False)
+        decode = self._symbols.decode_row
+        for name, rows in self._relations.items():
+            db._relations[name] = {decode(row) for row in rows}
+            db._arities[name] = self._arities[name]
+        db._versions = dict(self._versions)
+        return db
 
     # -- construction --------------------------------------------------
 
     @classmethod
-    def from_atoms(cls, facts: Iterable[Atom]) -> "Database":
+    def from_atoms(cls, facts: Iterable[Atom],
+                   intern: bool = True) -> "Database":
         """Build a database from ground atoms.
 
         A fact with a variable argument is rejected rather than
         silently truncated to its constant positions.
         """
-        db = cls()
+        db = cls(intern=intern)
         for fact in facts:
             values = []
             for term in fact.args:
@@ -101,25 +224,45 @@ class Database:
         return db
 
     @classmethod
-    def from_program(cls, program: Program) -> "Database":
+    def from_program(cls, program: Program,
+                     intern: bool = True) -> "Database":
         """Build a database from a program's fact section."""
-        return cls.from_atoms(program.facts)
+        return cls.from_atoms(program.facts, intern=intern)
 
     @classmethod
-    def from_dict(cls, relations: Mapping[str, Iterable[tuple]]
-                  ) -> "Database":
+    def from_dict(cls, relations: Mapping[str, Iterable[tuple]],
+                  intern: bool = True) -> "Database":
         """Build a database from ``{"A": [("a", "b"), ...]}``."""
-        db = cls()
+        db = cls(intern=intern)
         for name, rows in relations.items():
             db.bulk(name, rows)
         return db
 
     def copy(self) -> "Database":
-        """An independent copy (indexes are rebuilt lazily)."""
-        db = Database(indexed=self.indexed)
+        """An independent copy (indexes are rebuilt lazily).
+
+        The symbol table is *shared*, not copied: it is append-only,
+        so rows encoded by the copy stay decodable by the original and
+        vice versa — which is what lets a fixpoint engine copy the EDB
+        and still hand back rows the session can decode.
+
+        Cached join tables (hash and dense) carry over too: an entry
+        is an immutable ``(version, table)`` pair that is replaced, not
+        mutated, on rebuild, so a copy that later mutates a relation
+        simply bumps its own version and rebuilds into its own cache —
+        while the common fixpoint discipline (engine copies the EDB,
+        reads it, throws the copy away) pays each table build once per
+        EDB version instead of once per evaluation.  Per-position match
+        indexes are *not* shared: those are updated in place.
+        """
+        db = Database(indexed=self.indexed, intern=False)
+        db._symbols = self._symbols
         for name, rows in self._relations.items():
             db._relations[name] = set(rows)
             db._arities[name] = self._arities[name]
+        db._versions = dict(self._versions)
+        db._hash_tables = dict(self._hash_tables)
+        db._dense_tables = dict(self._dense_tables)
         return db
 
     # -- mutation -------------------------------------------------------
@@ -134,7 +277,14 @@ class Database:
                 f"got {len(row)} in {row}")
 
     def add(self, name: str, row: tuple) -> bool:
-        """Insert one row; returns True when it was new."""
+        """Insert one value row; returns True when it was new."""
+        row = tuple(row)
+        if self._symbols is not None:
+            row = self._symbols.encode_row(row)
+        return self.add_encoded(name, row)
+
+    def add_encoded(self, name: str, row: tuple) -> bool:
+        """Insert one storage-space row (engine path — no encoding)."""
         row = tuple(row)
         self._check_arity(name, row)
         rows = self._relations.setdefault(name, set())
@@ -151,7 +301,7 @@ class Database:
         return True
 
     def remove(self, name: str, row: tuple) -> bool:
-        """Delete one row; returns True when it was present.
+        """Delete one value row; returns True when it was present.
 
         Removal moves the version counter exactly like insertion, so
         cached hash tables and per-position indexes never serve a
@@ -161,6 +311,16 @@ class Database:
         >>> db.remove("A", ("a", "b")), db.remove("A", ("a", "b"))
         (True, False)
         """
+        row = tuple(row)
+        if self._symbols is not None:
+            encoded = self._lookup_pattern(row)
+            if encoded is None:
+                return False  # a never-seen constant is in no row
+            row = encoded
+        return self.remove_encoded(name, row)
+
+    def remove_encoded(self, name: str, row: tuple) -> bool:
+        """Delete one storage-space row; True when it was present."""
         row = tuple(row)
         rows = self._relations.get(name)
         if rows is None or row not in rows:
@@ -178,7 +338,7 @@ class Database:
         return True
 
     def bulk(self, name: str, rows: Iterable[tuple]) -> int:
-        """Insert many rows; returns the number actually new.
+        """Insert many value rows; returns the number actually new.
 
         Index and version upkeep is batched: one version bump and one
         index invalidation per mutated relation when the outermost
@@ -196,8 +356,21 @@ class Database:
                 self._flush_bulk()
         return added
 
+    def bulk_encoded(self, name: str, rows: Iterable[tuple]) -> int:
+        """Insert many storage-space rows; number actually new."""
+        added = 0
+        self._bulk_depth += 1
+        try:
+            for row in rows:
+                added += self.add_encoded(name, row)
+        finally:
+            self._bulk_depth -= 1
+            if not self._bulk_depth:
+                self._flush_bulk()
+        return added
+
     def bulk_remove(self, name: str, rows: Iterable[tuple]) -> int:
-        """Delete many rows; returns the number actually removed.
+        """Delete many value rows; returns the number actually removed.
 
         The batched-invalidation discipline of :meth:`bulk` applies:
         one version bump per mutated relation at the end of the
@@ -232,6 +405,14 @@ class Database:
         """Mutation counter of the relation (0 when never touched)."""
         return self._versions.get(name, 0)
 
+    def global_version(self) -> int:
+        """Sum of all relation versions: a monotonic mutation epoch.
+
+        Any insert/remove (bulk or not) strictly increases it, which is
+        what the session's answer cache keys on.
+        """
+        return sum(self._versions.values())
+
     def declare(self, name: str, arity: int) -> None:
         """Register an (initially empty) relation with known arity."""
         self._check_arity(name, (None,) * arity)
@@ -245,8 +426,15 @@ class Database:
         return tuple(sorted(self._relations))
 
     def rows(self, name: str) -> frozenset[tuple]:
-        """All rows of a relation (empty when unknown — an absent EDB
-        relation is an empty one, as in any Datalog engine)."""
+        """All value rows of a relation (empty when unknown — an absent
+        EDB relation is an empty one, as in any Datalog engine)."""
+        stored = self._relations.get(name, ())
+        if self._symbols is None:
+            return frozenset(stored)
+        return self._symbols.decode_rows(stored)
+
+    def rows_encoded(self, name: str) -> frozenset[tuple]:
+        """All storage-space rows of a relation (engine path)."""
         return frozenset(self._relations.get(name, ()))
 
     def count(self, name: str) -> int:
@@ -278,8 +466,9 @@ class Database:
 
         The table maps key → list of full rows; a single-column key is
         stored unwrapped (``row[p]``), a multi-column key as a tuple,
-        and the empty key groups every row under ``()``.  Tables are
-        cached against the relation's version counter, so a semi-naive
+        and the empty key groups every row under ``()``.  Keys and rows
+        are storage-space (codes under interning).  Tables are cached
+        against the relation's version counter, so a semi-naive
         fixpoint builds each (relation, key) table exactly once however
         many rounds it runs.
         """
@@ -304,12 +493,58 @@ class Database:
         self.hash_builds += 1
         return table
 
+    def dense_table(self, name: str, position: int) -> list | None:
+        """The rows of *name* grouped by the code at *position*, as a
+        plain list indexed by that code — the array-structured access
+        path dense interning makes possible.  ``table[code]`` is the
+        row list; codes carried by no stored row share one empty
+        tuple, so a probing kernel can iterate every bucket without a
+        miss branch.  An out-of-range code means "no rows" (new codes
+        can be interned after the build; they cannot appear in any
+        stored row of this version).
+
+        Returns None when the database is not interned (callers fall
+        back to :meth:`hash_table`).  Cached and invalidated exactly
+        like hash tables, and counted in the same ``hash_builds``.
+        """
+        if self._symbols is None:
+            return None
+        cache_key = (name, position)
+        version = self._versions.get(name, 0)
+        entry = self._dense_tables.get(cache_key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        table: list = [()] * len(self._symbols)
+        for row in self._relations.get(name, ()):
+            code = row[position]
+            bucket = table[code]
+            if bucket:
+                bucket.append(row)
+            else:
+                table[code] = [row]
+        self._dense_tables[cache_key] = (version, table)
+        self.hash_builds += 1
+        return table
+
     def match(self, name: str, pattern: Pattern) -> Iterator[tuple]:
-        """All rows matching *pattern* (None entries are wildcards).
+        """All value rows matching *pattern* (None entries match any).
 
         Uses a hash index on the first bound position, then filters the
         remaining bound positions.
         """
+        if self._symbols is None:
+            yield from self.match_encoded(name, pattern)
+            return
+        encoded = self._lookup_pattern(pattern)
+        if encoded is None:
+            return  # a never-interned constant matches no stored row
+        decode = self._symbols.decode_row
+        for row in self.match_encoded(name, encoded):
+            yield decode(row)
+
+    def match_encoded(self, name: str,
+                      pattern: Pattern) -> Iterator[tuple]:
+        """All storage-space rows matching a storage-space *pattern*."""
         bound = [(i, v) for i, v in enumerate(pattern) if v is not None]
         if not bound:
             rows = self._relations.get(name, ())
@@ -330,17 +565,16 @@ class Database:
                 yield row
 
     def has_match(self, name: str, pattern: Pattern) -> bool:
-        """True when at least one row matches *pattern*."""
+        """True when at least one value row matches *pattern*."""
         return next(self.match(name, pattern), None) is not None
 
     def relation(self, name: str,
                  columns: Iterable[str] | None = None) -> Relation:
-        """A :class:`Relation` view of the stored rows."""
-        rows = self._relations.get(name, set())
+        """A :class:`Relation` view of the stored rows (value space)."""
         if columns is None:
             arity = self._arities.get(name, 0)
             columns = tuple(f"c{i}" for i in range(arity))
-        return Relation(columns, rows)
+        return Relation(columns, self.rows(name))
 
     def metrics_snapshot(self) -> dict:
         """Point-in-time state for the telemetry layer's gauges.
@@ -349,16 +583,31 @@ class Database:
         :func:`repro.metrics.instrument.export_database_gauges`, which
         calls this at scrape time (``GET /metrics``), keeping the
         query path free of any sampling cost.
+
+        ``symbols`` is the interned-constant count (0 when raw);
+        ``encoded_bytes_estimate`` approximates the storage footprint:
+        8 bytes per stored tuple slot plus, under interning, the
+        dictionary's payload (each distinct value once) — the point of
+        the gauge is watching the dictionary grow, not byte-exact
+        accounting.
         """
+        slots = sum(len(rows) * self._arities.get(name, 0)
+                    for name, rows in self._relations.items())
+        payload = (sum(len(str(value)) + 49 for value in self._symbols)
+                   if self._symbols is not None else 0)
         return {
             "relations": {
                 name: {"rows": len(rows),
                        "version": self._versions.get(name, 0)}
                 for name, rows in sorted(self._relations.items())},
-            "cached_hash_tables": len(self._hash_tables),
+            "cached_hash_tables": (len(self._hash_tables)
+                                   + len(self._dense_tables)),
             "index_rebuilds": self.index_rebuilds,
             "hash_builds": self.hash_builds,
             "touches": self.touches,
+            "symbols": (len(self._symbols)
+                        if self._symbols is not None else 0),
+            "encoded_bytes_estimate": slots * 8 + payload,
         }
 
     def active_domain(self) -> frozenset:
@@ -367,17 +616,24 @@ class Database:
         for rows in self._relations.values():
             for row in rows:
                 values.update(row)
-        return frozenset(values)
+        if self._symbols is None:
+            return frozenset(values)
+        decode = self._symbols.decode
+        return frozenset(decode(code) for code in values)
 
     # -- snapshots --------------------------------------------------------
 
     def __getstate__(self) -> dict:
-        """Pickle as a snapshot: rows, arities and versions only.
+        """Pickle as a snapshot: rows, arities, versions and the
+        symbol table.
 
         Derived structures (per-position indexes, hash tables) are
         process-local caches — they are dropped at the serialization
         boundary and rebuilt lazily on first use in the receiver,
         where the versioned cache makes each rebuild a one-time cost.
+        Under interning the rows are int tuples and the dictionary
+        crosses the wire exactly once, which is why a sharded
+        snapshot's pickle shrinks relative to raw string tuples.
         """
         return {
             "relations": {name: set(rows)
@@ -385,17 +641,25 @@ class Database:
             "arities": dict(self._arities),
             "versions": dict(self._versions),
             "indexed": self.indexed,
+            "symbols": self._symbols,
         }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(indexed=state["indexed"])
+        self.__init__(indexed=state["indexed"], intern=False)
+        self._symbols = state.get("symbols")
         self._relations = state["relations"]
         self._arities = state["arities"]
         self._versions = state["versions"]
 
     def __contains__(self, name_row: tuple[str, tuple]) -> bool:
         name, row = name_row
-        return tuple(row) in self._relations.get(name, ())
+        row = tuple(row)
+        if self._symbols is not None:
+            encoded = self._lookup_pattern(row)
+            if encoded is None:
+                return False
+            row = encoded
+        return row in self._relations.get(name, ())
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{name}:{len(rows)}"

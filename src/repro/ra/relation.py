@@ -152,6 +152,13 @@ class Relation:
         With no shared columns this degenerates to the product, which
         mirrors the paper's evaluation principle (a join is only a
         Cartesian product when nothing connects the operands).
+
+        The hash table is built on the *smaller* operand and the
+        larger one streams as the probe side — joining a huge delta
+        against a tiny relation must hash the tiny one, whichever side
+        of the call it is on.  The output schema and row layout are
+        the same either way: ``self``'s columns first, then ``other``'s
+        non-shared columns.
         """
         shared = [c for c in self._columns if c in other._columns]
         if not shared:
@@ -160,17 +167,31 @@ class Relation:
         right_keys = [other.column_index(c) for c in shared]
         right_extra = [i for i, c in enumerate(other._columns)
                        if c not in shared]
-        by_key: dict[tuple, list[tuple]] = {}
-        for row in other._rows:
-            by_key.setdefault(
-                tuple(row[i] for i in right_keys), []).append(row)
         out_columns = self._columns + tuple(
             other._columns[i] for i in right_extra)
-        rows = []
-        for row in self._rows:
-            key = tuple(row[i] for i in left_keys)
-            for match in by_key.get(key, ()):
-                rows.append(row + tuple(match[i] for i in right_extra))
+        rows: list[tuple] = []
+        by_key: dict[tuple, list[tuple]] = {}
+        if len(other._rows) <= len(self._rows):
+            # build on other, probe with self (the historical path)
+            for row in other._rows:
+                by_key.setdefault(
+                    tuple(row[i] for i in right_keys), []).append(row)
+            for row in self._rows:
+                key = tuple(row[i] for i in left_keys)
+                for match in by_key.get(key, ()):
+                    rows.append(row
+                                + tuple(match[i] for i in right_extra))
+        else:
+            # build on self, probe with other; emit rows in the same
+            # self-columns-first layout
+            for row in self._rows:
+                by_key.setdefault(
+                    tuple(row[i] for i in left_keys), []).append(row)
+            for row in other._rows:
+                key = tuple(row[i] for i in right_keys)
+                extras = tuple(row[i] for i in right_extra)
+                for match in by_key.get(key, ()):
+                    rows.append(match + extras)
         return Relation(out_columns, rows)
 
     def semijoin(self, other: "Relation") -> "Relation":

@@ -1,0 +1,143 @@
+"""Dictionary encoding: intern constants to dense non-negative ints.
+
+Every engine in this reproduction iterates joins over a *fixed active
+domain* — the standard systems response is to dictionary-encode the
+constants once at the storage boundary and run the whole evaluation
+pipeline over dense integer codes.  A :class:`SymbolTable` is that
+dictionary: append-only, with an id→value list and a value→id dict, so
+
+* encoding is one dict lookup (interning on first sight),
+* decoding is one list index,
+* codes are dense (``0 .. len(table)-1``), which makes *array-indexed*
+  access paths possible — see :meth:`~repro.ra.database.Database
+  .dense_table` — where value-keyed storage can only hash.
+
+Tables pickle as their value list (the code of a value is its list
+position, so the dict half is rebuilt on arrival) and support a
+*frozen* read-only mode for worker processes: a frozen table still
+encodes every value it has seen and decodes every code it has issued,
+but refuses to grow — exactly the discipline a read-only snapshot
+shipped to a worker pool needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+__all__ = ["SymbolTable"]
+
+#: Process-unique tokens; a table's token names its code space, so any
+#: cache keyed by encoded values (e.g. the join-plan cache) can include
+#: it and never confuse codes from two different tables.
+_TOKENS = itertools.count(1)
+
+
+class SymbolTable:
+    """An append-only value ⇄ dense-int dictionary.
+
+    >>> table = SymbolTable()
+    >>> table.encode("a"), table.encode("b"), table.encode("a")
+    (0, 1, 0)
+    >>> table.decode(1)
+    'b'
+    >>> len(table)
+    2
+    """
+
+    __slots__ = ("_values", "_codes", "_frozen", "token")
+
+    def __init__(self, values: Iterable[object] = ()) -> None:
+        self._values: list = list(values)
+        self._codes: dict = {value: code
+                             for code, value in enumerate(self._values)}
+        if len(self._codes) != len(self._values):
+            raise ValueError("duplicate values in symbol table seed")
+        self._frozen = False
+        #: process-unique identity of this table's code space
+        self.token = next(_TOKENS)
+
+    # -- encoding ------------------------------------------------------
+
+    def encode(self, value) -> int:
+        """The code of *value*, interning it on first sight."""
+        code = self._codes.get(value)
+        if code is None:
+            if self._frozen:
+                raise KeyError(
+                    f"frozen symbol table cannot intern new value "
+                    f"{value!r}")
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def lookup(self, value) -> int | None:
+        """The code of *value*, or None when it was never interned."""
+        return self._codes.get(value)
+
+    def decode(self, code: int):
+        """The value behind *code* (IndexError for codes never issued)."""
+        return self._values[code]
+
+    def encode_row(self, row: Iterable) -> tuple[int, ...]:
+        """Encode every value of *row* (interning as needed)."""
+        return tuple(map(self.encode, row))
+
+    def decode_row(self, row: Iterable[int]) -> tuple:
+        """Decode every code of *row*."""
+        values = self._values
+        return tuple(values[code] for code in row)
+
+    def decode_rows(self, rows: Iterable[tuple]) -> frozenset[tuple]:
+        """Bulk-decode a row collection (the answer-boundary hot path).
+
+        Decoding column-wise keeps the whole pass in C: transpose,
+        ``map`` each code column through the value list, transpose
+        back.  On a 100k-answer result this is ~5× faster than calling
+        :meth:`decode_row` per row.
+        """
+        rows = list(rows)
+        if not rows:
+            return frozenset()
+        get = self._values.__getitem__
+        columns = [map(get, column) for column in zip(*rows)]
+        return frozenset(zip(*columns))
+
+    # -- snapshots -----------------------------------------------------
+
+    def freeze(self) -> None:
+        """Make the table read-only: lookups keep working, interning a
+        *new* value raises.  Workers freeze their snapshot so a
+        mixed-up code space fails loudly instead of silently."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """True when the table refuses to grow."""
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator:
+        """The interned values, in code order."""
+        return iter(self._values)
+
+    def __contains__(self, value) -> bool:
+        return value in self._codes
+
+    def __getstate__(self) -> dict:
+        """Pickle as the value list (codes are list positions)."""
+        return {"values": self._values, "frozen": self._frozen}
+
+    def __setstate__(self, state: dict) -> None:
+        self._values = state["values"]
+        self._codes = {value: code
+                       for code, value in enumerate(self._values)}
+        self._frozen = state["frozen"]
+        self.token = next(_TOKENS)
+
+    def __repr__(self) -> str:
+        state = "frozen, " if self._frozen else ""
+        return f"SymbolTable({state}{len(self._values)} symbols)"

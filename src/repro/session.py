@@ -51,14 +51,23 @@ from .ra.database import Database
 class DeductiveDatabase:
     """A mutable session over rules and facts with compiled queries."""
 
+    #: answer-cache capacity (FIFO); stale entries from old database
+    #: versions age out through this cap
+    _ANSWER_CACHE_LIMIT = 1024
+
     def __init__(self, indexed: bool = True, metrics=None,
-                 query_log=None) -> None:
+                 query_log=None, intern: bool = True) -> None:
         self._rules: list[Rule] = []
-        self._edb = Database(indexed=indexed)
+        self._edb = Database(indexed=indexed, intern=intern)
         self._materialised: Database | None = None
         self._plan_cache: dict[tuple[str, frozenset[int]],
                                CompiledFormula] = {}
         self._classification_cache: dict[str, Classification] = {}
+        #: full answer sets keyed by (predicate, pattern, engine,
+        #: workers, database epoch) — any fact mutation moves the
+        #: epoch, so entries self-invalidate; rule changes clear it
+        self._answer_cache: dict[tuple,
+                                 tuple[frozenset[tuple], str]] = {}
         #: optional :class:`~repro.metrics.MetricsRegistry`; when None
         #: (the default) :meth:`query` takes the uninstrumented path —
         #: bit-identical answers and stats, zero added work
@@ -82,6 +91,18 @@ class DeductiveDatabase:
         if isinstance(rule, str):
             rule = parse_rule(rule)
         self._rules.append(rule)
+        # Intern the rule's constants up front: afterwards, "constant
+        # not in the symbol table" means "constant appears in no fact
+        # and no rule", which is what licenses the unseen-constant
+        # short-circuit (range restriction: every answer value comes
+        # from a fact or a rule constant).  It also keeps the symbol
+        # table from growing mid-evaluation, so each probe table is
+        # built exactly once per fixpoint in either storage mode.
+        if self._edb.interned:
+            for atom in (rule.head, *rule.body):
+                for term in atom.args:
+                    if isinstance(term, Constant):
+                        self._edb.encode_const(term.value)
         self._invalidate(rules_changed=True)
 
     def add_fact(self, predicate: str, *values: object) -> None:
@@ -111,6 +132,9 @@ class DeductiveDatabase:
         if rules_changed:
             self._plan_cache.clear()
             self._classification_cache.clear()
+            # fact changes are covered by the epoch in the cache key;
+            # rule changes alter derivations at the same epoch
+            self._answer_cache.clear()
 
     # -- structure -------------------------------------------------------
 
@@ -172,15 +196,22 @@ class DeductiveDatabase:
         return db
 
     def _materialise_one(self, predicate: str, db: Database) -> None:
+        # solve_project and the fixpoint hand back storage-space rows
+        # and *db* stores storage-space rows — bulk_encoded keeps them
+        # out of the encoder (a value-space ``bulk`` would re-encode
+        # int codes as if they were user values).
         system = self.system_for(predicate)
         if system is None:
             arity = self.rules_for(predicate)[0].head.arity
             db.declare(predicate, arity)
             for rule in self.rules_for(predicate):
-                db.bulk(predicate,
-                        solve_project(db, rule.body, rule.head.args))
+                db.bulk_encoded(
+                    predicate,
+                    solve_project(db, rule.body, rule.head.args))
         else:
-            db.bulk(predicate, SemiNaiveEngine().evaluate(system, db))
+            db.bulk_encoded(
+                predicate,
+                SemiNaiveEngine().evaluate(system, db, decode=False))
 
     def materialise(self) -> Database:
         """Fully materialise every IDB predicate (cached until the
@@ -240,6 +271,40 @@ class DeductiveDatabase:
                         stats: EvaluationStats | None,
                         engine: str, workers: int | None,
                         trace: Tracer | None) -> frozenset[tuple]:
+        """Answer-cache wrapper around the evaluation proper.
+
+        Successful answer sets are memoised on (query pattern, engine,
+        workers, database epoch): re-asking an unchanged session the
+        same question is a dict lookup.  Traced runs bypass the cache
+        — the caller asked to watch the evaluation happen — and error
+        paths never populate it.
+        """
+        if trace is not None:
+            return self._evaluate_query_uncached(query, stats, engine,
+                                                 workers, trace)
+        key = (query.predicate, query.pattern, engine, workers,
+               self._edb.global_version())
+        hit = self._answer_cache.get(key)
+        if hit is not None:
+            answers, engine_label = hit
+            if stats is not None:
+                stats.answer_cache_hits += 1
+                stats.engine = engine_label
+                stats.answers = len(answers)
+            return answers
+        local = stats if stats is not None else EvaluationStats()
+        answers = self._evaluate_query_uncached(query, local, engine,
+                                                workers, None)
+        if len(self._answer_cache) >= self._ANSWER_CACHE_LIMIT:
+            self._answer_cache.pop(next(iter(self._answer_cache)))
+        self._answer_cache[key] = (answers, local.engine or engine)
+        return answers
+
+    def _evaluate_query_uncached(self, query: Query,
+                                 stats: EvaluationStats | None,
+                                 engine: str, workers: int | None,
+                                 trace: Tracer | None
+                                 ) -> frozenset[tuple]:
         """The evaluation itself, free of any telemetry concern."""
         if workers is not None:
             if engine not in self._SHARDABLE:
@@ -284,6 +349,21 @@ class DeductiveDatabase:
             if trace is not None:
                 trace.finish(len(answers), stats)
             return answers
+
+        if trace is None and self._edb.interned:
+            # A query constant the symbol table has never seen occurs
+            # in no fact and no rule (rule constants are interned at
+            # add_rule time), so by range restriction it can appear in
+            # no answer: skip materialisation and the fixpoint
+            # entirely.  Traced runs take the full path — the caller
+            # asked to watch the evaluation.
+            lookup = self._edb.symbols.lookup
+            if any(value is not None and lookup(value) is None
+                   for value in query.pattern):
+                if stats is not None:
+                    stats.engine = engine
+                    stats.answers = 0
+                return frozenset()
 
         base = self._materialise_below(predicate)
         if engine != "compiled":

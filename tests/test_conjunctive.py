@@ -15,11 +15,14 @@ def atoms(*texts: str):
 
 
 def make_db():
+    # intern=False: these unit tests hand the solver raw values as
+    # bindings and read raw values out of solutions; the solver's
+    # contract is storage space, which raw mode makes the value space
     return Database.from_dict({
         "A": [("a", "b"), ("b", "c"), ("c", "d")],
         "B": [("b", "x1"), ("c", "x2")],
         "N": [("a",)],
-    })
+    }, intern=False)
 
 
 class TestPatternOf:
@@ -45,7 +48,8 @@ class TestSolve:
         assert solutions[0][V("y")] == "b"
 
     def test_repeated_variable_within_atom(self):
-        db = Database.from_dict({"A": [("a", "a"), ("a", "b")]})
+        db = Database.from_dict({"A": [("a", "a"), ("a", "b")]},
+                                intern=False)
         solutions = list(solve(db, atoms("A(x, x)")))
         assert [s[V("x")] for s in solutions] == ["a"]
 

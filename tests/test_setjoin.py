@@ -46,6 +46,15 @@ class TestPlanCompilation:
         plan = compile_plan(atoms("A('a', y)"), (), (V("y"),), db)
         (step,) = plan.steps
         assert step.key_positions == (0,)
+        # constants are compiled in storage space: the plan carries
+        # the interned code, not the raw value
+        assert step.key_sources == ((True, db.symbols.lookup("a")),)
+
+    def test_constants_stay_raw_without_interning(self):
+        db = Database.from_dict({"A": [("a", "b"), ("c", "d")]},
+                                intern=False)
+        plan = compile_plan(atoms("A('a', y)"), (), (V("y"),), db)
+        (step,) = plan.steps
         assert step.key_sources == ((True, "a"),)
 
     def test_repeated_free_variable_becomes_check(self):
@@ -106,7 +115,9 @@ class TestExecuteAgainstSolveProject:
         assert execute_plan(db, plan, [()]) == expected
 
     def test_batched_entry_agreement(self):
-        db = Database.from_dict(self.DB)
+        # intern=False: the hand-written entry rows below are raw
+        # values, and apply_rule expects rows in storage space
+        db = Database.from_dict(self.DB, intern=False)
         body_atoms = atoms("A(z, w)")
         out_terms = (V("y"), V("w"))
         entry = (V("z"), V("y"))
@@ -162,7 +173,7 @@ class TestEngineFlag:
 
 class TestHashTableCache:
     def test_reused_until_relation_changes(self):
-        db = Database.from_dict({"A": [("a", "b")]})
+        db = Database.from_dict({"A": [("a", "b")]}, intern=False)
         first = db.hash_table("A", (0,))
         assert db.hash_table("A", (0,)) is first
         assert db.hash_builds == 1
@@ -179,7 +190,7 @@ class TestHashTableCache:
         assert db.hash_table("A", (1,)) is table
 
     def test_key_layouts(self):
-        db = Database.from_dict({"T": [("a", "b", "c")]})
+        db = Database.from_dict({"T": [("a", "b", "c")]}, intern=False)
         assert db.hash_table("T", ())[()] == [("a", "b", "c")]
         assert db.hash_table("T", (1,))["b"] == [("a", "b", "c")]
         assert db.hash_table("T", (0, 2))[("a", "c")] == [("a", "b", "c")]
@@ -256,10 +267,13 @@ class TestBindUnbindEquivalence:
     ])
     def test_same_answer_sets(self, body):
         from repro.engine import solve
+        # intern=False: the reference oracle binds raw values while
+        # solve binds storage-space codes; raw mode makes them the
+        # same space
         db = Database.from_dict({
             "A": [("a", "b"), ("b", "a"), ("a", "a"), ("b", "c")],
             "B": [("b", "x1"), ("a", "x2")],
-        })
+        }, intern=False)
         body_atoms = atoms(*body)
         got = {tuple(sorted((v.name, val) for v, val in s.items()))
                for s in solve(db, body_atoms)}

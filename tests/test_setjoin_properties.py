@@ -37,10 +37,11 @@ def test_apply_rule_equals_solve_project_loop(system, seed, tuples):
     body = rule.nonrecursive_atoms
     entry = rule.recursive_atom.args
     head = rule.head.args
-    # delta rows: whatever the exits derive, plus junk rows
+    # delta rows: whatever the exits derive, plus junk rows (encoded
+    # into storage space — the kernel contract for delta rows)
     delta = set(solve_project(db, system.exits[0].body,
                               system.exits[0].head.args))
-    delta |= {("zz",) * system.dimension}
+    delta |= {db.encode_row(("zz",) * system.dimension)}
 
     expected: set[tuple] = set()
     for row in delta:
