@@ -186,6 +186,29 @@ def main() -> int:
                       file=sys.stderr)
                 failures += 1
 
+            # -- lazy columnar decode reconciles exactly --------------
+            # every unique query's answers cross the query boundary
+            # still encoded (lazy), and the server's response render
+            # is the only point that forces decode — so both counters
+            # must equal the summed answer counts of the *unique*
+            # queries, and the decode histogram must have exactly one
+            # observation per unique query.  The cache-hit repeat
+            # reuses the already-decoded set and contributes to
+            # neither.
+            unique = list(dict.fromkeys(SESSION))
+            expected_lazy = sum(len(_expected(q)) for q, _ in unique)
+            for name in ("repro_answers_lazy_total",
+                         "repro_answers_decoded_total"):
+                if series_sum(name) != expected_lazy:
+                    print(f"{name}: metrics say {series_sum(name)}, "
+                          f"unique-query answers sum to "
+                          f"{expected_lazy}", file=sys.stderr)
+                    failures += 1
+            if series_sum("repro_decode_seconds_count") != len(unique):
+                print("repro_decode_seconds_count != "
+                      f"{len(unique)} unique queries", file=sys.stderr)
+                failures += 1
+
             # -- one structured log line per query --------------------
             with open(log_path, encoding="utf-8") as handle:
                 lines = [json.loads(line) for line in handle

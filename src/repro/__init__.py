@@ -43,12 +43,13 @@ from .graphs import (IGraph, ReducedGraph, ResolutionGraph, ascii_figure,
                      build_igraph, reduce_graph, resolution_graph)
 from .logutil import QueryLogger
 from .metrics import MetricsRegistry
-from .ra import Database, Relation
+from .ra import AnswerSet, Database, Relation
 from .session import DeductiveDatabase
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerSet",
     "Atom", "Boundedness", "Classification", "CompiledEngine",
     "CompiledFormula", "ComponentClass", "Constant", "Database", "DeductiveDatabase",
     "DatalogSyntaxError", "EvaluationStats", "FormulaClass", "IGraph",

@@ -204,7 +204,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         answers = engine.evaluate(system, db, query, stats,
                                   trace=tracer)
         duration = perf_counter() - started
-        for row in sorted(answers, key=repr):
+        # AnswerSet.sorted_rows caches the sorted decode; the plain
+        # sorted() fallback covers intern=False frozensets, same order.
+        rows = (answers.sorted_rows() if hasattr(answers, "sorted_rows")
+                else sorted(answers, key=repr))
+        for row in rows:
             print(f"{system.predicate}"
                   f"({', '.join(str(v) for v in row)})")
         print(f"-- {query}: {len(answers)} answers   "

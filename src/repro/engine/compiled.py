@@ -32,6 +32,7 @@ from ..core.compile import (CompiledFormula, StableCompilation, Strategy,
 from ..datalog.program import RecursionSystem
 from ..datalog.terms import Variable
 from ..graphs.igraph import build_igraph
+from ..ra.answers import AnswerSet
 from ..ra.database import Database
 from .conjunctive import satisfiable, solve_project
 from .query import Query
@@ -95,9 +96,10 @@ class CompiledEngine:
                         strategy=compiled.strategy.name.lower())
 
         # The strategies run in storage space: the query's constants
-        # are encoded once here, every derived row decoded once at the
-        # end.  (With intern=False ``encoded`` returns the query as
-        # is and decoding is the identity.)
+        # are encoded once here, and the answers stay encoded inside a
+        # lazy AnswerSet at the end.  (With intern=False ``encoded``
+        # returns the query as is and the raw frozenset passes
+        # through verbatim.)
         enc_query = query.encoded(edb)
         if compiled.strategy is Strategy.BOUNDED:
             answers = self._evaluate_bounded(system, compiled.classification,
@@ -116,7 +118,7 @@ class CompiledEngine:
         if trace is not None:
             trace.finish(len(answers), stats)
         if edb.interned:
-            answers = edb.symbols.decode_rows(answers)
+            answers = AnswerSet(answers, edb.symbols)
         return answers
 
     # -- bounded -------------------------------------------------------

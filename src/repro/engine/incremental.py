@@ -24,6 +24,7 @@ from typing import Iterable, Iterator
 from ..datalog.program import RecursionSystem
 from ..datalog.rules import Rule
 from ..datalog.terms import Variable
+from ..ra.answers import AnswerSet
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .seminaive import SemiNaiveEngine
@@ -83,11 +84,13 @@ class MaterializedRecursion:
         self.stats = EvaluationStats(engine="incremental")
 
     @property
-    def rows(self) -> frozenset[tuple]:
-        """The current materialised relation (value space)."""
+    def rows(self) -> frozenset[tuple] | AnswerSet:
+        """The current materialised relation (value space; a lazy
+        columnar :class:`~repro.ra.answers.AnswerSet` when interned —
+        the snapshot decodes only if the caller iterates it)."""
         if not self._db.interned:
             return frozenset(self._total)
-        return self._db.symbols.decode_rows(self._total)
+        return AnswerSet(frozenset(self._total), self._db.symbols)
 
     @property
     def database(self) -> Database:
@@ -154,7 +157,7 @@ class MaterializedRecursion:
         if trace is not None:
             trace.finish(len(added), self.stats)
         if self._db.interned:
-            return self._db.symbols.decode_rows(added)
+            return AnswerSet(frozenset(added), self._db.symbols)
         return frozenset(added)
 
     def _differentiated(self, rule: Rule, predicate: str,

@@ -9,6 +9,7 @@ compiled evaluation is measured against.
 from __future__ import annotations
 
 from ..datalog.program import Program, RecursionSystem
+from ..ra.answers import AnswerSet
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
@@ -36,7 +37,8 @@ class NaiveEngine:
     def evaluate(self, system: RecursionSystem | Program, edb: Database,
                  query: Query | None = None,
                  stats: EvaluationStats | None = None,
-                 trace: Tracer | None = None) -> frozenset[tuple]:
+                 trace: Tracer | None = None
+                ) -> frozenset[tuple] | AnswerSet:
         """All tuples of the recursive predicate, filtered by *query*.
 
         >>> from ..datalog.parser import parse_system
@@ -89,12 +91,18 @@ class NaiveEngine:
             if new_tuples == 0:
                 break
 
-        answers = database.rows(
+        # Answer boundary in storage space: filter encoded rows with
+        # the encoded query (encoding is injective, so the filtered
+        # set is exactly the old value-space filter) and hand back a
+        # lazy AnswerSet instead of eagerly decoding the relation.
+        answers = database.rows_encoded(
             query.predicate if query is not None
             else next(iter(predicates)))
         if query is not None:
-            answers = query.filter(answers)
+            answers = query.encoded(database).filter(answers)
         stats.answers = len(answers)
         if trace is not None:
             trace.finish(len(answers), stats)
+        if database.interned:
+            return AnswerSet(answers, database.symbols)
         return frozenset(answers)

@@ -80,24 +80,78 @@ class JoinStep:
 
 
 @dataclass(frozen=True)
+class FusedTail:
+    """The compile-time shape certificate of a fusable last probe.
+
+    Present on a :class:`JoinPlan` when its final step probes exactly
+    one bound slot, binds exactly one new column, and the head
+    projects two variables of which exactly one is that new column —
+    the shape of every linear recursion's delta rule.  The kernel then
+    skips the intermediate extended binding and emits the projected
+    output pair straight out of the probe, column-wise: *keep* is the
+    layout slot carried through from the binding, *position* the probed
+    row's emitted column, *new_first* which of the two comes first in
+    the output row.  Detected once per plan here instead of per round
+    in the kernel.
+    """
+
+    predicate: str
+    key_position: int   # probed column of the stored relation
+    slot: int           # binding-layout slot feeding the probe key
+    position: int       # stored-row column the probe emits
+    keep: int           # binding-layout slot of the carried column
+    new_first: bool     # emitted column first (True) or second
+
+
+@dataclass(frozen=True)
 class JoinPlan:
     """An ordered join pipeline plus the output projection.
 
     ``entry_vars`` is the binding-tuple layout at entry (the distinct
     variables of the entry terms, in first-occurrence order); each step
     appends its ``new_positions`` columns; ``out_sources`` projects the
-    final layout onto the head terms.
+    final layout onto the head terms.  ``fused`` certifies (at compile
+    time) that the last step and the projection collapse into one
+    columnar probe — see :class:`FusedTail`.
     """
 
     entry_vars: tuple[Variable, ...]
     steps: tuple[JoinStep, ...]
     out_sources: tuple[Source, ...]
+    fused: FusedTail | None = None
 
     @property
     def width(self) -> int:
         """Final binding-tuple width after all steps."""
         return len(self.entry_vars) + sum(
             len(s.new_positions) for s in self.steps)
+
+
+def _fused_tail(entry_vars: tuple, steps: tuple[JoinStep, ...],
+                out_sources: tuple[Source, ...]) -> FusedTail | None:
+    """The :class:`FusedTail` certificate for a plan shape, or None."""
+    if not steps:
+        return None
+    step = steps[-1]
+    if (step.same_free or not step.key_is_all_vars
+            or len(step.key_positions) != 1
+            or len(step.new_positions) != 1):
+        return None
+    if len(out_sources) != 2 or any(is_const for is_const, _
+                                    in out_sources):
+        return None
+    width = len(entry_vars) + sum(len(s.new_positions) for s in steps)
+    width_before = width - 1
+    s0, s1 = out_sources[0][1], out_sources[1][1]
+    if (s0 == width_before) == (s1 == width_before):
+        return None  # neither (or both) outputs the new column
+    new_first = s0 == width_before
+    return FusedTail(predicate=step.predicate,
+                     key_position=step.key_positions[0],
+                     slot=step.key_slots[0],
+                     position=step.new_positions[0],
+                     keep=s1 if new_first else s0,
+                     new_first=new_first)
 
 
 @dataclass(frozen=True)
@@ -239,7 +293,10 @@ def _compile(body: tuple[Atom, ...], entry_terms: tuple[Term, ...],
                 f"output term {term} is bound by neither the entry "
                 f"binding nor the body — the rule is not range "
                 f"restricted relative to its entry")
-    return JoinPlan(layout.variables, tuple(steps), tuple(out_sources))
+    steps_t = tuple(steps)
+    out_t = tuple(out_sources)
+    return JoinPlan(layout.variables, steps_t, out_t,
+                    _fused_tail(layout.variables, steps_t, out_t))
 
 
 def compile_plan(body: Sequence[Atom], entry_terms: Sequence[Term],

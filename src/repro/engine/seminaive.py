@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..datalog.program import RecursionSystem
 from ..datalog.terms import Variable
+from ..ra.answers import AnswerSet
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
@@ -52,7 +53,7 @@ class SemiNaiveEngine:
                  stats: EvaluationStats | None = None,
                  max_rounds: int | None = None,
                  trace: Tracer | None = None,
-                 decode: bool = True) -> frozenset[tuple]:
+                 decode: bool = True) -> frozenset[tuple] | AnswerSet:
         """All tuples of the recursive predicate, filtered by *query*.
 
         *max_rounds* caps the recursion depth (used by rank probes);
@@ -60,11 +61,16 @@ class SemiNaiveEngine:
         collects one :class:`~repro.engine.trace.RoundSpan` per round;
         ``trace=None`` adds no work to the loop.
 
-        The whole fixpoint runs in storage space; *decode* (default
-        True) converts the answers back to values at the boundary.
-        ``decode=False`` hands back storage-space rows — for callers
-        that feed them straight back into the same database
-        (materialisation, the incremental maintenance seed).
+        The whole fixpoint runs in storage space; under interning the
+        answers come back as a lazy columnar
+        :class:`~repro.ra.answers.AnswerSet` (*decode* = True, the
+        default) that materialises values only when first iterated —
+        behaviourally a ``frozenset`` of value rows, without the eager
+        decode tax on enumerations nobody reads.  ``decode=False``
+        hands back plain storage-space rows — for callers that feed
+        them straight back into the same database (materialisation,
+        the incremental maintenance seed).  Raw (``intern=False``)
+        databases return plain value frozensets verbatim.
 
         >>> from ..datalog.parser import parse_system
         >>> s = parse_system("P(x, y) :- A(x, z), P(z, y).")
@@ -145,7 +151,7 @@ class SemiNaiveEngine:
         if trace is not None:
             trace.finish(len(answers), stats)
         if decode and database.interned:
-            answers = database.symbols.decode_rows(answers)
+            answers = AnswerSet(answers, database.symbols)
         return answers
 
     # -- subclass hooks --------------------------------------------------

@@ -23,6 +23,18 @@ builds exactly the table the kernel will probe.  Multi-column keys and
 ``intern=False`` databases keep the dict path verbatim; either way a
 (relation, key) table is built exactly once per version, so the
 ``hash_builds`` counter is identical across modes.
+
+The hot linear-recursion shape goes one step further and runs
+*column-wise*: when a plan carries a
+:class:`~repro.engine.plan.FusedTail` certificate, the final probe
+reads a :meth:`Database.dense_column` view whose buckets hold only the
+single emitted output column, assembling each projected output pair
+without ever materialising the intermediate extended binding or
+touching a full stored row.  Within the fixpoint, emitted blocks stay
+row-major — every round feeds a row-hash dedup (``new - total``), so
+rows are the native shape there — and the column representation
+resumes at the answer boundary
+(:class:`~repro.ra.answers.AnswerSet`).
 """
 
 from __future__ import annotations
@@ -225,67 +237,57 @@ def _fused_final_rows(database: Database, plan: JoinPlan,
     """Output rows of *plan* with the projection fused into the last
     probe, or None when the shape doesn't qualify.
 
-    For the hot linear-recursion shape — last step probes a dense
-    (code-indexed) table on one bound slot, binds one new column, and
-    the head projects two variables of which exactly one is that new
-    column — the intermediate extended binding tuple is never needed:
-    the probe loop can emit the projected output row directly.  Only
-    the dense path qualifies, so ``intern=False`` keeps the unfused
-    pipeline verbatim.  Probe/derived accounting is identical to the
-    unfused path (every surfaced row emits exactly one output row).
+    For the hot linear-recursion shape — last step probes one bound
+    slot, binds one new column, and the head projects two variables of
+    which exactly one is that new column — the intermediate extended
+    binding tuple is never needed.  The shape is certified at compile
+    time (:class:`~repro.engine.plan.FusedTail`), and the probe runs
+    *column-wise*: :meth:`Database.dense_column` buckets hold only the
+    emitted output column, so each output pair is assembled from the
+    carried binding slot and the probed column value directly — no
+    per-emitted-row ``row[position]`` indexing, no full-row buckets.
+    Only the dense (interned) path qualifies, so ``intern=False``
+    keeps the unfused pipeline verbatim.  Probe/derived accounting is
+    identical to the unfused path (every surfaced column value emits
+    exactly one output row), and the column view derives from the
+    same counted dense-table build, so ``hash_builds`` is too.
     """
-    steps = plan.steps
-    if not steps:
+    spec = plan.fused
+    if spec is None or not database.interned:
         return None
-    step = steps[-1]
-    if (step.same_free or not step.key_is_all_vars
-            or len(step.key_positions) != 1
-            or len(step.new_positions) != 1):
-        return None
-    sources = plan.out_sources
-    if len(sources) != 2 or any(is_const for is_const, _ in sources):
-        return None
-    width_before = plan.width - 1
-    s0, s1 = sources[0][1], sources[1][1]
-    if (s0 == width_before) == (s1 == width_before):
-        return None  # neither (or both) outputs the new column
-    if not database.interned:
-        return None
-    for earlier in steps[:-1]:
+    for earlier in plan.steps[:-1]:
         if not batch:
             return []
         batch = _run_step(database, earlier, batch, stats)
     if not batch:
         return []
     builds_before = database.hash_builds
-    dense = database.dense_table(step.predicate, step.key_positions[0])
+    view = database.dense_column(spec.predicate, spec.key_position,
+                                 spec.position)
     if stats is not None:
         stats.hash_builds += database.hash_builds - builds_before
         stats.hash_lookups += 1
-    slot = step.key_slots[0]
-    position = step.new_positions[0]
-    new_first = s0 == width_before
-    keep = s1 if new_first else s0
+    slot, keep, new_first = spec.slot, spec.keep, spec.new_first
     try:
         if new_first:
-            out = [(row[position], binding[keep])
+            out = [(value, binding[keep])
                    for binding in batch
-                   for row in dense[binding[slot]]]
+                   for value in view[binding[slot]]]
         else:
-            out = [(binding[keep], row[position])
+            out = [(binding[keep], value)
                    for binding in batch
-                   for row in dense[binding[slot]]]
+                   for value in view[binding[slot]]]
     except IndexError:
         # a code interned after the build — out of range, in no row
-        size = len(dense)
+        size = len(view)
         out = []
         append = out.append
         for binding in batch:
             code = binding[slot]
             if code < size:
-                for row in dense[code]:
-                    append((row[position], binding[keep]) if new_first
-                           else (binding[keep], row[position]))
+                for value in view[code]:
+                    append((value, binding[keep]) if new_first
+                           else (binding[keep], value))
     if stats is not None:
         stats.probes += len(out)
     return out

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..datalog.program import RecursionSystem
+from ..ra.answers import AnswerSet
 from ..ra.database import Database
 from .conjunctive import solve_project
 from .query import Query
@@ -176,7 +177,7 @@ class TopDownEngine:
         if trace is not None:
             trace.finish(len(answers), stats)
         if edb.interned:
-            answers = edb.symbols.decode_rows(answers)
+            answers = AnswerSet(answers, edb.symbols)
         return answers
 
     def _solve_subgoal(self, system: RecursionSystem, view: _GoalView,

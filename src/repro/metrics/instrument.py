@@ -20,6 +20,9 @@ metric                                labels                   kind
 ``repro_hash_builds_total``           engine                   counter
 ``repro_hash_lookups_total``          engine                   counter
 ``repro_answer_cache_hits_total``     engine                   counter
+``repro_answers_lazy_total``          —                        counter
+``repro_answers_decoded_total``       —                        counter
+``repro_decode_seconds``              —                        histogram
 ``repro_relation_rows``               relation                 gauge
 ``repro_relation_version``            relation                 gauge
 ``repro_cached_hash_tables``          —                        gauge
@@ -48,7 +51,7 @@ from __future__ import annotations
 from ..engine.stats import ACCUMULATING_FIELDS
 from .registry import MetricsRegistry
 
-__all__ = ["observe_query", "observe_query_error",
+__all__ = ["observe_query", "observe_query_error", "observe_decode",
            "export_database_gauges", "LATENCY_BUCKETS",
            "COUNT_BUCKETS"]
 
@@ -83,9 +86,18 @@ assert set(_STATS_COUNTERS) <= set(ACCUMULATING_FIELDS)
 
 def observe_query(registry: MetricsRegistry, *, engine: str,
                   formula_class: str, duration_s: float, answers: int,
-                  stats_delta: dict | None = None) -> None:
+                  stats_delta: dict | None = None,
+                  lazy_answers: int = 0) -> None:
     """Record one successful query: rate, latency, size and the
-    engine-level work counters from its stats delta."""
+    engine-level work counters from its stats delta.
+
+    *lazy_answers* is the number of answers that crossed the query
+    boundary still dictionary-encoded (a not-yet-decoded
+    :class:`~repro.ra.answers.AnswerSet`); together with
+    :func:`observe_decode`'s ``repro_answers_decoded_total`` it
+    reconciles how much decode work the lazy columnar path deferred
+    and how much was eventually forced.
+    """
     registry.counter(
         "repro_queries_total", "Queries answered, by outcome.",
         ("engine", "formula_class", "outcome"),
@@ -98,6 +110,11 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
         "repro_query_answers", "Answers per query.",
         ("engine", "formula_class"), buckets=COUNT_BUCKETS,
     ).observe(answers, engine=engine, formula_class=formula_class)
+    if lazy_answers:
+        registry.counter(
+            "repro_answers_lazy_total",
+            "Answers returned still encoded (decode deferred).",
+        ).inc(lazy_answers)
     if stats_delta is None:
         return
     for field, (name, help_text) in _STATS_COUNTERS.items():
@@ -109,6 +126,27 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
             or stats_delta.get("sequential_rounds")):
         from ..engine.sharded import record_pool_health
         record_pool_health(registry, stats_delta)
+
+
+def observe_decode(registry: MetricsRegistry, seconds: float,
+                   answers: int) -> None:
+    """Record one forced materialisation of a lazy answer set.
+
+    Called where decode actually happens (e.g. the server rendering a
+    response body), *not* on the query path — a cache hit that reuses
+    an already-decoded :class:`~repro.ra.answers.AnswerSet` records
+    nothing, so ``repro_answers_decoded_total`` counts distinct decode
+    work, never repeats.
+    """
+    registry.histogram(
+        "repro_decode_seconds",
+        "Wall-clock time of one answer-set decode.",
+        buckets=LATENCY_BUCKETS,
+    ).observe(seconds)
+    registry.counter(
+        "repro_answers_decoded_total",
+        "Answers materialised to value tuples on demand.",
+    ).inc(answers)
 
 
 def observe_query_error(registry: MetricsRegistry, *, engine: str,

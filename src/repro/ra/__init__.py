@@ -1,5 +1,6 @@
 """Relational-algebra substrate: relations, a fact store, expressions."""
 
+from .answers import AnswerSet
 from .database import Database, Pattern
 from .expr import (CartesianProduct, DifferenceOp, EqualColumns, Expr,
                    Extend, Join, Literal,
@@ -12,6 +13,7 @@ from .optimize import (count_nodes, optimize, output_columns,
 from .relation import Relation, relation_from_pairs
 
 __all__ = [
+    "AnswerSet",
     "CartesianProduct", "Database", "DifferenceOp", "EqualColumns",
     "Expr", "Extend", "Join",
     "Literal", "Pattern", "Projection", "Relation", "Renaming", "Scan",

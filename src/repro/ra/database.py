@@ -92,6 +92,12 @@ class Database:
         #: only, keyed by (relation, column) → (version, list)
         self._dense_tables: dict[tuple[str, int],
                                  tuple[int, list]] = {}
+        #: single-column projections of dense tables for the fused
+        #: columnar probe, keyed by (relation, key-col, value-col) →
+        #: (version, list); views over an already-counted build, so
+        #: they do not move ``hash_builds``
+        self._dense_columns: dict[tuple[str, int, int],
+                                  tuple[int, list]] = {}
         #: the constant dictionary; None runs the raw value-tuple path
         self._symbols: SymbolTable | None = (SymbolTable() if intern
                                              else None)
@@ -194,9 +200,12 @@ class Database:
         if self._symbols is None:
             return self
         db = Database(indexed=self.indexed, intern=False)
-        decode = self._symbols.decode_row
+        decode_rows = self._symbols.decode_rows
         for name, rows in self._relations.items():
-            db._relations[name] = {decode(row) for row in rows}
+            # column-wise, one lookup per distinct code — a full-EDB
+            # dump is exactly the shape where per-row decode_row loops
+            # pay |rows| × arity dict hits for |domain| distinct values
+            db._relations[name] = set(decode_rows(rows))
             db._arities[name] = self._arities[name]
         db._versions = dict(self._versions)
         return db
@@ -263,6 +272,7 @@ class Database:
         db._versions = dict(self._versions)
         db._hash_tables = dict(self._hash_tables)
         db._dense_tables = dict(self._dense_tables)
+        db._dense_columns = dict(self._dense_columns)
         return db
 
     # -- mutation -------------------------------------------------------
@@ -525,6 +535,39 @@ class Database:
         self._dense_tables[cache_key] = (version, table)
         self.hash_builds += 1
         return table
+
+    def dense_column(self, name: str, key_position: int,
+                     value_position: int) -> list | None:
+        """A columnar view of :meth:`dense_table`: ``view[code]`` holds
+        only the *value_position* column of the rows whose
+        *key_position* column is ``code``.
+
+        This is the emit shape of the fused final probe
+        (:mod:`repro.engine.setjoin`): when the join's last step binds
+        exactly one output column, probing this view hands that column
+        back directly — no per-emitted-row ``row[position]`` indexing,
+        no intermediate full-row tuples.  The view is derived from the
+        (already cached, already counted) dense table, so
+        ``hash_builds`` accounting is identical whether a fixpoint
+        probes row buckets or column buckets.  Returns None when not
+        interned.
+        """
+        if self._symbols is None:
+            return None
+        cache_key = (name, key_position, value_position)
+        version = self._versions.get(name, 0)
+        entry = self._dense_columns.get(cache_key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        dense = self.dense_table(name, key_position)
+        if dense is None:
+            return None
+        view = [()] * len(dense)
+        for code, bucket in enumerate(dense):
+            if bucket:
+                view[code] = [row[value_position] for row in bucket]
+        self._dense_columns[cache_key] = (version, view)
+        return view
 
     def match(self, name: str, pattern: Pattern) -> Iterator[tuple]:
         """All value rows matching *pattern* (None entries match any).

@@ -6,7 +6,13 @@ service built entirely on the stdlib:
 * ``POST /query`` — evaluate a query; JSON in
   (``{"query": "P(a, Y)", "engine"?: ..., "workers"?: ...}``), JSON
   out (answers, count, duration, the query's full
-  :meth:`~repro.engine.stats.EvaluationStats.to_dict`);
+  :meth:`~repro.engine.stats.EvaluationStats.to_dict`).  The
+  ``answers`` array is rendered straight from the lazy columnar
+  :class:`~repro.ra.answers.AnswerSet`: one ``json.dumps`` per
+  *distinct* constant (answer columns repeat few distinct values),
+  one fragment per row, written in bounded chunks under a
+  precomputed ``Content-Length`` — the only point in the service
+  where decode is forced, metered by ``repro_decode_seconds``;
 * ``GET /metrics`` — the session registry in Prometheus text
   exposition format (database gauges refreshed at scrape time);
 * ``GET /healthz`` — liveness (200 + uptime/served counters);
@@ -29,6 +35,8 @@ from time import perf_counter, time
 
 from .datalog.errors import ReproError
 from .engine.stats import EvaluationStats
+from .metrics.instrument import observe_decode
+from .ra.answers import AnswerSet
 from .session import DeductiveDatabase
 
 __all__ = ["QueryServer"]
@@ -105,6 +113,57 @@ class QueryServer:
                    json.dumps(document, ensure_ascii=False, indent=2)
                    + "\n")
 
+    def _send_query_response(self, handler, *, query: str, engine: str,
+                             rows: list, duration_s: float,
+                             stats: dict) -> None:
+        """Render a ``/query`` response around pre-sorted *rows*.
+
+        The envelope round-trips through ``json.dumps``; the
+        ``answers`` array is spliced in from per-row fragments built
+        with a per-distinct-value dump memo, and the body goes out as
+        bounded chunks (one socket write per ~64 KiB) under one
+        precomputed ``Content-Length`` — no monolithic join of a
+        million-row string, no intermediate list-of-lists.
+        """
+        head = json.dumps(
+            {"query": query, "engine": engine, "count": len(rows)},
+            ensure_ascii=False, indent=2)[:-2]
+        tail = json.dumps({"duration_s": duration_s, "stats": stats},
+                          ensure_ascii=False, indent=2)[2:]
+        memo: dict = {}
+
+        def fragment(value) -> str:
+            frag = memo.get(value)
+            if frag is None:
+                frag = memo[value] = json.dumps(value,
+                                                ensure_ascii=False)
+            return frag
+
+        parts = [head, ',\n  "answers": [']
+        last = len(rows) - 1
+        for index, row in enumerate(rows):
+            parts.append("\n    ["
+                         + ", ".join(fragment(v) for v in row)
+                         + ("]," if index != last else "]"))
+        parts.append("\n  ],\n" if rows else "],\n")
+        parts.append(tail + "\n")
+        chunks = [part.encode("utf-8") for part in parts]
+        handler.send_response(200)
+        handler.send_header("Content-Type",
+                            "application/json; charset=utf-8")
+        handler.send_header("Content-Length",
+                            str(sum(len(c) for c in chunks)))
+        handler.end_headers()
+        write = handler.wfile.write
+        buffer = bytearray()
+        for chunk in chunks:
+            buffer += chunk
+            if len(buffer) >= 65536:
+                write(bytes(buffer))
+                buffer.clear()
+        if buffer:
+            write(bytes(buffer))
+
     # -- routes --------------------------------------------------------
 
     def _get(self, handler) -> None:
@@ -176,12 +235,20 @@ class QueryServer:
                 handler, 500,
                 {"error": f"{type(error).__name__}: {error}"})
             return
-        self._send_json(handler, 200, {
-            "query": str(request["query"]),
-            "engine": stats.engine or engine,
-            "count": len(answers),
-            "answers": sorted([list(row) for row in answers],
-                              key=repr),
-            "duration_s": round(perf_counter() - started, 6),
-            "stats": stats.to_dict(),
-        })
+        duration_s = round(perf_counter() - started, 6)
+        # Rendering is where a lazy answer set is finally forced;
+        # meter that decode (and only that — a cached, already-decoded
+        # set records nothing) before streaming the body.
+        was_lazy = (isinstance(answers, AnswerSet)
+                    and not answers.is_decoded)
+        if isinstance(answers, AnswerSet):
+            rows = answers.sorted_rows()
+        else:
+            rows = sorted(answers, key=repr)
+        if was_lazy and self.session.metrics is not None:
+            observe_decode(self.session.metrics,
+                           answers.decode_seconds, len(answers))
+        self._send_query_response(
+            handler, query=str(request["query"]),
+            engine=stats.engine or engine, rows=rows,
+            duration_s=duration_s, stats=stats.to_dict())

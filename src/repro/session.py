@@ -45,6 +45,7 @@ from .engine.seminaive import SemiNaiveEngine
 from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .engine.trace import Tracer
+from .ra.answers import AnswerSet
 from .ra.database import Database
 
 
@@ -65,9 +66,16 @@ class DeductiveDatabase:
         self._classification_cache: dict[str, Classification] = {}
         #: full answer sets keyed by (predicate, pattern, engine,
         #: workers, database epoch) — any fact mutation moves the
-        #: epoch, so entries self-invalidate; rule changes clear it
-        self._answer_cache: dict[tuple,
-                                 tuple[frozenset[tuple], str]] = {}
+        #: epoch, so entries self-invalidate; rule changes clear it.
+        #: Under interning the cached object is the *lazy* columnar
+        #: :class:`~repro.ra.answers.AnswerSet` — codes plus the
+        #: shared symbol table, not materialised value tuples — so a
+        #: cached large enumeration costs one row set, not two, and a
+        #: hit decodes only if the caller reads the values (the decode,
+        #: once forced, is cached on the entry: this cache doubles as
+        #: the LRU of decoded columns, keyed by database epoch)
+        self._answer_cache: dict[
+            tuple, tuple[AnswerSet | frozenset, str]] = {}
         #: optional :class:`~repro.metrics.MetricsRegistry`; when None
         #: (the default) :meth:`query` takes the uninstrumented path —
         #: bit-identical answers and stats, zero added work
@@ -328,7 +336,8 @@ class DeductiveDatabase:
             self._check_query_arity(query, known_arity)
             if trace is not None:
                 trace.begin("edb", predicate=predicate, query=query)
-            answers = query.filter(self._edb.rows(predicate))
+            answers = self._relation_answers(self._edb, predicate,
+                                             query)
             if stats is not None:
                 stats.engine = "edb"
                 stats.answers = len(answers)
@@ -342,7 +351,8 @@ class DeductiveDatabase:
         if system is None:
             if trace is not None:
                 trace.begin("view", predicate=predicate, query=query)
-            answers = query.filter(self.materialise().rows(predicate))
+            answers = self._relation_answers(self.materialise(),
+                                             predicate, query)
             if stats is not None:
                 stats.engine = "view"
                 stats.answers = len(answers)
@@ -380,6 +390,27 @@ class DeductiveDatabase:
             self._plan_cache[key] = compiled
         return CompiledEngine().evaluate(system, base, query, stats,
                                          compiled=compiled, trace=trace)
+
+    @staticmethod
+    def _relation_answers(db: Database, predicate: str,
+                          query: Query) -> AnswerSet | frozenset:
+        """Filtered rows of a stored relation, without decoding it.
+
+        EDB and view lookups used to decode the whole relation and
+        filter in value space; now the filter runs over encoded rows
+        (the query's constants are *looked up*, never interned — an
+        unseen constant matches nothing) and the result is a lazy
+        :class:`~repro.ra.answers.AnswerSet`.  Raw databases keep the
+        value-space path verbatim.
+        """
+        if not db.interned:
+            return query.filter(db.rows(predicate))
+        pattern = db._lookup_pattern(query.pattern)
+        if pattern is None:
+            return AnswerSet(frozenset(), db.symbols)
+        encoded = Query(predicate, pattern)
+        return AnswerSet(encoded.filter(db.rows_encoded(predicate)),
+                         db.symbols)
 
     # -- telemetry -------------------------------------------------------
 
@@ -427,9 +458,16 @@ class DeductiveDatabase:
         label = self._class_label(query.predicate)
         engine_label = local.engine or engine
         if self.metrics is not None:
+            # Answers that leave the query boundary still encoded: the
+            # decode counter (repro_answers_decoded_total) ticks only
+            # where materialisation is later forced, so the gap between
+            # the two is the decode work laziness saved.
+            lazy = (isinstance(answers, AnswerSet)
+                    and not answers.is_decoded)
             observe_query(self.metrics, engine=engine_label,
                           formula_class=label, duration_s=duration,
-                          answers=len(answers), stats_delta=delta)
+                          answers=len(answers), stats_delta=delta,
+                          lazy_answers=len(answers) if lazy else 0)
         if self.query_log is not None:
             self.query_log.log(
                 event="query", query_id=query_id, query=str(query),
