@@ -1,0 +1,167 @@
+"""PERF: snapshot-isolated concurrent reads vs the global query lock.
+
+The service layer (PR 7) removed the single ``_query_lock`` that
+serialised every ``/query`` evaluation.  This bench measures what that
+bought: four concurrent clients, each free-querying its own
+transitive-closure predicate over a 5k-edge chain forest (20k EDB rows
+total) through :class:`~repro.service.QueryService`, with the sharded
+engine at ``workers=1`` — the service deployment where each request's
+join work runs in a forked worker process and the calling thread
+blocks in pool IPC with the GIL released.  Under the old lock those
+four single-worker evaluations could not overlap at all; without it
+they overlap up to the core count.
+
+The baseline is the same service with an explicit global lock wrapped
+around every ``run`` call — the PR 6 server's concurrency model,
+reconstructed exactly.  Answers are asserted identical before any
+timing is trusted.  The headline claim, ≥2× aggregate read throughput
+with 4 clients, is asserted only when the machine actually has 4
+cores to offer (CI runners do; a 1-core container cannot overlap
+anything and merely records its numbers).  Results land in
+``benchmarks/output/BENCH_concurrency.json``, uploaded as a CI
+artifact and compared against ``benchmarks/baselines/`` by the
+bench-regression job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.core import text_table
+from repro.service import EpochManager, QueryService
+from repro.session import DeductiveDatabase
+
+CLIENTS = 4
+CHAINS = 625   # per predicate: 625 chains x 8 edges = 5k rows
+LENGTH = 8
+TARGET_SPEEDUP = 2.0
+REPEATS = 3
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def _build_session() -> DeductiveDatabase:
+    """One session, one TC system per client over its own relation."""
+    session = DeductiveDatabase()
+    for client in range(CLIENTS):
+        session.add_rule(f"P{client}(x, y) :- "
+                         f"A{client}(x, z), P{client}(z, y).")
+        session.add_rule(f"P{client}(x, y) :- A{client}(x, y).")
+        session.add_facts(
+            f"A{client}",
+            [(f"p{client}_c{c}_n{i}", f"p{client}_c{c}_n{i + 1}")
+             for c in range(CHAINS) for i in range(LENGTH)])
+    return session
+
+
+def _expected_answers() -> int:
+    return CHAINS * LENGTH * (LENGTH + 1) // 2
+
+
+def _run_clients(service: QueryService,
+                 lock: threading.Lock | None) -> tuple[float, list]:
+    """Makespan of the four concurrent client queries (one each).
+
+    With *lock*, every evaluation is wrapped in the shared global
+    lock — the old server's serialisation, reconstructed.
+    """
+    # bust the cross-query answer cache so every repeat re-evaluates
+    service.manager.current.session._answer_cache.clear()
+    results: list = [None] * CLIENTS
+    errors: list = []
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client(index: int) -> None:
+        barrier.wait()
+        try:
+            if lock is not None:
+                with lock:
+                    results[index] = service.run(
+                        f"P{index}(X, Y)", workers=1)
+            else:
+                results[index] = service.run(f"P{index}(X, Y)",
+                                             workers=1)
+        except Exception as error:  # surfaced after join
+            errors.append(error)
+
+    pool = [threading.Thread(target=client, args=(i,))
+            for i in range(CLIENTS)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed, results
+
+
+def test_concurrent_read_throughput(save_artifact, artifact_dir):
+    session = _build_session()
+    service = QueryService(EpochManager(session),
+                           max_inflight=CLIENTS)
+    expected = _expected_answers()
+
+    locked_best = float("inf")
+    concurrent_best = float("inf")
+    global_lock = threading.Lock()
+    for _ in range(REPEATS):
+        elapsed, results = _run_clients(service, global_lock)
+        locked_best = min(locked_best, elapsed)
+        for result in results:
+            assert len(result.answers) == expected
+            assert result.outcome == "ok"
+            assert result.stats.pool_fallbacks == 0, \
+                "worker pool fell back to in-process"
+        elapsed, results = _run_clients(service, None)
+        concurrent_best = min(concurrent_best, elapsed)
+        for result in results:
+            assert len(result.answers) == expected
+            assert result.outcome == "ok"
+            assert result.stats.pool_fallbacks == 0, \
+                "worker pool fell back to in-process"
+
+    speedup = round(locked_best / max(concurrent_best, 1e-9), 2)
+    cpus = _cpus()
+    asserted = cpus >= CLIENTS
+    if asserted:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"concurrent reads only {speedup}x over the global-lock "
+            f"baseline with {CLIENTS} clients on {cpus} cores "
+            f"(target {TARGET_SPEEDUP}x)")
+
+    result_row = {
+        "workload": f"tc-20k-{CLIENTS}clients",
+        "edb_rows": CLIENTS * CHAINS * LENGTH,
+        "answers_per_client": expected,
+        "clients": CLIENTS,
+        "locked_s": round(locked_best, 4),
+        "concurrent_s": round(concurrent_best, 4),
+        "speedup": speedup,
+    }
+    payload = {
+        "bench": "concurrency",
+        "clients": CLIENTS,
+        "cpus": cpus,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_asserted": asserted,
+        "results": [result_row],
+    }
+    (artifact_dir / "BENCH_concurrency.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_artifact("perf_concurrency", text_table(
+        ["workload", "EDB rows", "answers/client", "locked s",
+         "concurrent s", "speedup"],
+        [[result_row["workload"], result_row["edb_rows"],
+          result_row["answers_per_client"], result_row["locked_s"],
+          result_row["concurrent_s"], f"{speedup}x"]]))

@@ -13,7 +13,9 @@ End-to-end over a real subprocess and real sockets:
    reconcile *exactly* with the per-query stats sums: query counts
    per engine, and ``repro_rounds_total``/``repro_probes_total``/
    ``repro_derived_total`` per engine;
-4. assert the structured log emitted exactly one line per query.
+4. assert the structured log emitted exactly one line per query;
+5. send SIGTERM and assert the graceful path: exit code 0 and a
+   final ``server_shutdown`` log line with ``drained: true``.
 
 Exits non-zero on the first violation.
 
@@ -213,16 +215,39 @@ def main() -> int:
             with open(log_path, encoding="utf-8") as handle:
                 lines = [json.loads(line) for line in handle
                          if line.strip()]
-            if len(lines) != len(SESSION):
-                print(f"log has {len(lines)} lines, expected "
-                      f"{len(SESSION)}", file=sys.stderr)
+            query_lines = [line for line in lines
+                           if line.get("event") == "query"]
+            if len(query_lines) != len(SESSION):
+                print(f"log has {len(query_lines)} query lines, "
+                      f"expected {len(SESSION)}", file=sys.stderr)
                 failures += 1
-            if len({line["query_id"] for line in lines}) != len(lines):
+            if len({line["query_id"] for line in query_lines}) != len(
+                    query_lines):
                 print("duplicate query_id in log", file=sys.stderr)
                 failures += 1
-        finally:
+
+            # -- graceful shutdown on SIGTERM -------------------------
             process.terminate()
             process.wait(timeout=30)
+            if process.returncode != 0:
+                print(f"SIGTERM exit code {process.returncode}, "
+                      f"expected 0 (graceful)", file=sys.stderr)
+                failures += 1
+            with open(log_path, encoding="utf-8") as handle:
+                lines = [json.loads(line) for line in handle
+                         if line.strip()]
+            if not lines or lines[-1].get("event") != "server_shutdown":
+                print("log does not end with a server_shutdown line",
+                      file=sys.stderr)
+                failures += 1
+            elif not lines[-1].get("drained"):
+                print("server_shutdown line reports drained=false",
+                      file=sys.stderr)
+                failures += 1
+        finally:
+            if process.poll() is None:
+                process.terminate()
+                process.wait(timeout=30)
 
     if failures:
         print(f"serve smoke: {failures} failure(s)", file=sys.stderr)

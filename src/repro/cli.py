@@ -239,6 +239,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
     from .logutil import open_query_log
     from .metrics import MetricsRegistry
     from .server import QueryServer
@@ -253,14 +255,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     session.load(text)
     server = QueryServer(session, host=args.host, port=args.port,
                          default_engine=args.engine,
-                         default_workers=args.workers)
+                         default_workers=args.workers,
+                         max_inflight=args.max_inflight,
+                         query_timeout_s=args.query_timeout,
+                         max_rows=args.max_rows,
+                         drain_grace_s=args.drain_grace)
+
+    def _graceful(signum, frame) -> None:
+        # serve_forever() runs on this (main) thread and
+        # httpd.shutdown() deadlocks when called from it, so the
+        # drain runs on a helper thread; serve_forever returns once
+        # it completes.
+        threading.Thread(target=server.graceful_shutdown,
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
     # The smoke scripts read this line to find an ephemeral port.
     print(f"serving on http://{server.host}:{server.port}",
           flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        server.graceful_shutdown()
     finally:
         server.close()
         if query_log is not None:
@@ -377,7 +393,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve", help="serve a program over HTTP with metrics "
-                      "(POST /query, GET /metrics, /healthz, /stats)")
+                      "(POST /query, POST /facts, GET /metrics, "
+                      "/healthz, /stats)")
     p_serve.add_argument("program", help="file with rules and facts")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
@@ -389,6 +406,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="default worker-pool size for /query "
                               "requests (implies the sharded engine)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="concurrent evaluations admitted; "
+                              "excess requests get 429 + Retry-After")
+    p_serve.add_argument("--query-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-query wall-clock budget; "
+                              "expiry aborts the fixpoint at a round "
+                              "boundary (408)")
+    p_serve.add_argument("--max-rows", type=int, default=None,
+                         help="per-query answer-row cap; the fixpoint "
+                              "stops at the next round boundary and "
+                              "the partial answers are flagged "
+                              "truncated")
+    p_serve.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="how long shutdown waits for in-flight "
+                              "queries before closing anyway")
     p_serve.add_argument("--log-json", metavar="FILE", default=None,
                          help="append one structured JSON log line "
                               "per query to FILE ('-' for stderr)")

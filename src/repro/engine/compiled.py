@@ -88,6 +88,7 @@ class CompiledEngine:
             stats = EvaluationStats(engine=self.name)
         else:
             stats.engine = self.name
+        stats.truncated = False
         if compiled is None:
             compiled = compile_query(system, query.adornment)
         if trace is not None:
@@ -130,9 +131,15 @@ class CompiledEngine:
                           ) -> frozenset[tuple]:
         bound = classification.rank_bound
         assert bound is not None
+        deadline = stats.deadline
         answers: set[tuple] = set()
         for exit_index in range(len(system.exits)):
             for depth in range(1, bound + 2):
+                if deadline is not None:
+                    deadline.check_time()
+                    if deadline.out_of_rows(len(answers)):
+                        stats.truncated = True
+                        return frozenset(answers)
                 flattened = system.exit_expansion(depth, exit_index)
                 binding: dict[Variable, object] = {}
                 consistent = True
@@ -164,6 +171,7 @@ class CompiledEngine:
                          trace: Tracer | None = None) -> frozenset[tuple]:
         system = stable.system
         specs = stable.specs
+        deadline = stats.deadline
         bound_positions = sorted(query.adornment)
         free_positions = [s.position for s in specs
                           if s.position not in query.adornment]
@@ -255,6 +263,14 @@ class CompiledEngine:
                         answers.add(combo)
                         new_answers += 1
             stats.record_round(new_answers)
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(len(answers)):
+                    stats.truncated = True
+                    if trace is not None:
+                        trace.end_round(new_answers, stats,
+                                        depth=depth)
+                    break
 
             if not gate_open:
                 if trace is not None:
@@ -289,6 +305,7 @@ class CompiledEngine:
                             query: Query, stats: EvaluationStats,
                             trace: Tracer | None = None
                             ) -> frozenset[tuple]:
+        deadline = stats.deadline
         if trace is not None:
             trace.begin_round("magic", 0, stats)
         magic, unrestricted = self._magic_bindings(system, edb, query,
@@ -322,6 +339,11 @@ class CompiledEngine:
         stats.record_round(len(delta))
         if trace is not None:
             trace.end_round(len(delta), stats)
+        if deadline is not None:
+            deadline.check_time()
+            if deadline.out_of_rows(len(total)):
+                stats.truncated = True
+                delta = set()  # round boundary: stop cleanly
 
         body_rest = list(rule.nonrecursive_atoms)
         recursive_vars = rule.recursive_atom.args
@@ -346,6 +368,11 @@ class CompiledEngine:
             stats.record_round(len(delta))
             if trace is not None:
                 trace.end_round(len(delta), stats)
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(len(total)):
+                    stats.truncated = True
+                    break
         return frozenset(total)
 
     def _magic_bindings(self, system: RecursionSystem, edb: Database,

@@ -1,0 +1,80 @@
+"""Cooperative per-query deadlines: wall-clock budget and row limit.
+
+A fixpoint cannot be preempted safely — a round half-applied would
+leave caches and stats inconsistent — so budgets are enforced
+*cooperatively* at round boundaries, the natural commit points of
+every engine: after each semi-naive/naive delta round, each compiled
+expansion/depth/delta step, and each top-down subgoal pass.  The two
+budgets abort differently, on purpose:
+
+* the **wall-clock budget** raises :class:`QueryTimeout` — time ran
+  out, and a partial fixpoint at an arbitrary cut is not worth
+  returning against an unbounded wait;
+* the **row budget** stops the loop and marks the stats
+  ``truncated`` — every tuple derived so far is a *true* answer
+  (bottom-up derivations are sound at every prefix), so the partial
+  set is returned along with the truncation flag.  The limit bounds
+  the work per round boundary; the final round may overshoot it by
+  its own delta.
+
+The deadline rides on :class:`~repro.engine.stats.EvaluationStats`
+(the ``deadline`` field), so no engine signature changes: callers that
+want budgets set ``stats.deadline`` before evaluating, everyone else
+pays one ``None`` check per round.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..datalog.errors import EvaluationError
+
+__all__ = ["Deadline", "QueryTimeout"]
+
+
+class QueryTimeout(EvaluationError):
+    """The query's wall-clock budget expired at a round boundary."""
+
+
+class Deadline:
+    """One query's evaluation budget (either part optional).
+
+    >>> d = Deadline(max_rows=10)
+    >>> d.out_of_rows(10), d.out_of_rows(11)
+    (False, True)
+    >>> Deadline(timeout_s=0.0).check_time()
+    Traceback (most recent call last):
+        ...
+    repro.engine.deadline.QueryTimeout: query exceeded its 0.0s budget
+    """
+
+    __slots__ = ("timeout_s", "max_rows", "_expires_at")
+
+    def __init__(self, timeout_s: float | None = None,
+                 max_rows: int | None = None) -> None:
+        self.timeout_s = timeout_s
+        self.max_rows = max_rows
+        self._expires_at = (perf_counter() + timeout_s
+                            if timeout_s is not None else None)
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds left on the wall-clock budget (None = unlimited)."""
+        if self._expires_at is None:
+            return None
+        return self._expires_at - perf_counter()
+
+    def check_time(self) -> None:
+        """Raise :class:`QueryTimeout` when the clock budget is spent."""
+        if (self._expires_at is not None
+                and perf_counter() >= self._expires_at):
+            raise QueryTimeout(
+                f"query exceeded its {self.timeout_s}s budget")
+
+    def out_of_rows(self, produced: int) -> bool:
+        """True when *produced* rows exceed the row budget."""
+        return self.max_rows is not None and produced > self.max_rows
+
+    def __repr__(self) -> str:
+        return (f"Deadline(timeout_s={self.timeout_s}, "
+                f"max_rows={self.max_rows})")

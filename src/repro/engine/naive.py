@@ -55,6 +55,8 @@ class NaiveEngine:
             stats = EvaluationStats(engine=self.name)
         else:
             stats.engine = self.name
+        stats.truncated = False
+        deadline = stats.deadline
         database = edb.copy()
         predicates = {rule.head.predicate for rule in program.rules}
         for predicate in predicates:
@@ -90,6 +92,12 @@ class NaiveEngine:
                 trace.end_round(new_tuples, stats)
             if new_tuples == 0:
                 break
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(
+                        sum(database.count(p) for p in predicates)):
+                    stats.truncated = True
+                    break
 
         # Answer boundary in storage space: filter encoded rows with
         # the encoded query (encoding is injective, so the filtered

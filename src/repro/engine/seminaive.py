@@ -84,6 +84,8 @@ class SemiNaiveEngine:
             stats = EvaluationStats(engine=self.name)
         else:
             stats.engine = self.name
+        stats.truncated = False
+        deadline = stats.deadline
         # The fixpoint never writes to the database (derived tuples
         # live in plain sets), so evaluate directly on *edb* — like the
         # compiled and top-down engines — and let the cached join
@@ -122,6 +124,11 @@ class SemiNaiveEngine:
             stats.record_round(len(delta))
             if trace is not None:
                 trace.end_round(len(delta), stats)
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(len(total)):
+                    stats.truncated = True
+                    delta = set()  # round boundary: stop cleanly
 
             rounds = 0
             while delta:
@@ -138,6 +145,11 @@ class SemiNaiveEngine:
                 stats.record_round(len(delta))
                 if trace is not None:
                     trace.end_round(len(delta), stats)
+                if deadline is not None:
+                    deadline.check_time()
+                    if deadline.out_of_rows(len(total)):
+                        stats.truncated = True
+                        break
         finally:
             self._end_fixpoint(stats)
 

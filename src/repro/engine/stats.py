@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 #: (a list of :meth:`EvaluationStats.to_dict` snapshots).  Bump on any
 #: field addition/removal/meaning change; ``scripts/trace_smoke.py``
 #: reconciles these dumps against the trace schema in CI.
-STATS_SCHEMA_VERSION = 2
+#: Version 3 added ``truncated`` (row-budget abort flag).
+STATS_SCHEMA_VERSION = 3
 
 #: The monotonically accumulating scalar fields of
 #: :class:`EvaluationStats` — the ones whose snapshot difference is a
@@ -39,16 +40,17 @@ def delta_between(before: dict, after: dict) -> dict:
 
     Scalar counters subtract; list counters return the appended tail.
     Non-accumulating fields (``engine``, ``answers``, ``workers``,
-    ``measured_rank``) carry *after*'s value — they describe the run,
-    not an increment.  This is how a reused stats object feeds a
-    metrics registry without double counting.
+    ``measured_rank``, ``truncated``) carry *after*'s value — they
+    describe the run, not an increment.  This is how a reused stats
+    object feeds a metrics registry without double counting.
     """
     delta: dict = {}
     for name in ACCUMULATING_FIELDS:
         delta[name] = after[name] - before[name]
     for name in ACCUMULATING_LIST_FIELDS:
         delta[name] = after[name][len(before[name]):]
-    for name in ("engine", "answers", "workers", "measured_rank"):
+    for name in ("engine", "answers", "workers", "measured_rank",
+                 "truncated"):
         delta[name] = after[name]
     return delta
 
@@ -90,6 +92,17 @@ class EvaluationStats:
     #: queries answered from the session's cross-query answer cache
     #: (the evaluation was skipped outright)
     answer_cache_hits: int = 0
+    #: True when the run stopped at a round boundary because the
+    #: deadline's row budget was exceeded — the answers returned are
+    #: sound but incomplete (see :mod:`repro.engine.deadline`)
+    truncated: bool = False
+    #: optional :class:`~repro.engine.deadline.Deadline` checked by the
+    #: engines at round boundaries.  A *carrier*, not a counter: it is
+    #: excluded from :meth:`to_dict` (and therefore from the schema,
+    #: the delta discipline and the JSON dumps) — it exists so budgets
+    #: reach the round loops without changing any engine signature.
+    deadline: object | None = field(default=None, repr=False,
+                                    compare=False)
 
     def record_round(self, new_tuples: int) -> None:
         """Log one fixpoint round and its new-tuple count."""
@@ -158,6 +171,7 @@ class EvaluationStats:
         self.pool_fallbacks += other.pool_fallbacks
         self.sequential_rounds += other.sequential_rounds
         self.answer_cache_hits += other.answer_cache_hits
+        self.truncated = self.truncated or other.truncated
 
     def to_dict(self) -> dict:
         """Every counter as a JSON-ready dict (schema
@@ -191,6 +205,7 @@ class EvaluationStats:
             "pool_fallbacks": self.pool_fallbacks,
             "sequential_rounds": self.sequential_rounds,
             "answer_cache_hits": self.answer_cache_hits,
+            "truncated": self.truncated,
         }
 
     def summary(self) -> str:

@@ -108,6 +108,8 @@ class TopDownEngine:
             stats = EvaluationStats(engine=self.name)
         else:
             stats.engine = self.name
+        stats.truncated = False
+        deadline = stats.deadline
 
         if trace is not None:
             trace.begin(self.name, predicate=system.predicate,
@@ -171,6 +173,11 @@ class TopDownEngine:
                 for waiter in dependents.get(subgoal, ()):
                     if waiter not in queue:
                         queue[waiter] = sort_key(waiter)
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(view.total_table_size()):
+                    stats.truncated = True
+                    break
 
         answers = enc_query.filter(view.tables[root])
         stats.answers = len(answers)

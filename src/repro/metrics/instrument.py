@@ -10,6 +10,8 @@ metric                                labels                   kind
 ``repro_queries_total``               engine, formula_class,   counter
                                       outcome
 ``repro_query_errors_total``          engine, error            counter
+``repro_queries_rejected_total``      —                        counter
+``repro_queries_timed_out_total``     —                        counter
 ``repro_query_duration_seconds``      engine, formula_class    histogram
 ``repro_query_answers``               engine, formula_class    histogram
 ``repro_rounds_total``                engine                   counter
@@ -32,6 +34,11 @@ metric                                labels                   kind
 ``repro_plan_cache_size``             —                        gauge
 ``repro_symbols_total``               —                        gauge
 ``repro_encoded_bytes_estimate``      —                        gauge
+``repro_inflight_queries``            —                        gauge
+``repro_admission_queue_depth``       —                        gauge
+``repro_epoch``                       —                        gauge
+``repro_snapshot_age_seconds``        —                        histogram
+``repro_epoch_publish_seconds``       —                        histogram
 ===================================== ======================== =========
 
 (The sharded engine's pool-health metrics are owned by
@@ -52,6 +59,8 @@ from ..engine.stats import ACCUMULATING_FIELDS
 from .registry import MetricsRegistry
 
 __all__ = ["observe_query", "observe_query_error", "observe_decode",
+           "observe_rejection", "observe_epoch_publish",
+           "observe_snapshot_age", "set_admission_gauges",
            "export_database_gauges", "LATENCY_BUCKETS",
            "COUNT_BUCKETS"]
 
@@ -87,9 +96,15 @@ assert set(_STATS_COUNTERS) <= set(ACCUMULATING_FIELDS)
 def observe_query(registry: MetricsRegistry, *, engine: str,
                   formula_class: str, duration_s: float, answers: int,
                   stats_delta: dict | None = None,
-                  lazy_answers: int = 0) -> None:
+                  lazy_answers: int = 0,
+                  outcome: str = "ok") -> None:
     """Record one successful query: rate, latency, size and the
     engine-level work counters from its stats delta.
+
+    *outcome* distinguishes completion modes that all return answers:
+    ``"ok"`` for a full fixpoint, ``"truncated"`` when a row-limit
+    deadline stopped the fixpoint at a round boundary (the partial
+    answers are sound, just incomplete).
 
     *lazy_answers* is the number of answers that crossed the query
     boundary still dictionary-encoded (a not-yet-decoded
@@ -101,7 +116,7 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
     registry.counter(
         "repro_queries_total", "Queries answered, by outcome.",
         ("engine", "formula_class", "outcome"),
-    ).inc(engine=engine, formula_class=formula_class, outcome="ok")
+    ).inc(engine=engine, formula_class=formula_class, outcome=outcome)
     registry.histogram(
         "repro_query_duration_seconds", "Wall-clock query latency.",
         ("engine", "formula_class"), buckets=LATENCY_BUCKETS,
@@ -150,16 +165,79 @@ def observe_decode(registry: MetricsRegistry, seconds: float,
 
 
 def observe_query_error(registry: MetricsRegistry, *, engine: str,
-                        formula_class: str, error: str) -> None:
-    """Record one failed query under both the rate and error names."""
+                        formula_class: str, error: str,
+                        outcome: str = "error") -> None:
+    """Record one failed query under both the rate and error names.
+
+    *outcome* ``"timeout"`` marks a wall-clock deadline expiry: it
+    gets its own outcome label and dedicated counter instead of
+    ``repro_query_errors_total``, which stays a count of *genuine*
+    evaluation failures.
+    """
     registry.counter(
         "repro_queries_total", "Queries answered, by outcome.",
         ("engine", "formula_class", "outcome"),
-    ).inc(engine=engine, formula_class=formula_class, outcome="error")
+    ).inc(engine=engine, formula_class=formula_class, outcome=outcome)
+    if outcome == "timeout":
+        registry.counter(
+            "repro_queries_timed_out_total",
+            "Queries aborted by their wall-clock deadline.",
+        ).inc()
+        return
     registry.counter(
         "repro_query_errors_total", "Query failures by exception type.",
         ("engine", "error"),
     ).inc(engine=engine, error=error)
+
+
+def observe_rejection(registry: MetricsRegistry) -> None:
+    """Record one query turned away at admission (HTTP 429)."""
+    registry.counter(
+        "repro_queries_rejected_total",
+        "Queries rejected by admission control (429).",
+    ).inc()
+
+
+def observe_epoch_publish(registry: MetricsRegistry, *, epoch: int,
+                          seconds: float) -> None:
+    """Record one write batch becoming a published snapshot."""
+    registry.gauge(
+        "repro_epoch", "Epoch number of the published snapshot.",
+    ).set(epoch)
+    registry.histogram(
+        "repro_epoch_publish_seconds",
+        "Wall-clock time to apply a write batch and publish the "
+        "next snapshot.",
+        buckets=LATENCY_BUCKETS,
+    ).observe(seconds)
+
+
+def observe_snapshot_age(registry: MetricsRegistry,
+                         seconds: float) -> None:
+    """Record how stale the snapshot an admitted query read was."""
+    registry.histogram(
+        "repro_snapshot_age_seconds",
+        "Age of the published snapshot at query admission.",
+        buckets=LATENCY_BUCKETS,
+    ).observe(seconds)
+
+
+def set_admission_gauges(registry: MetricsRegistry, *,
+                         inflight: int, queue_depth: int) -> None:
+    """Set the point-in-time admission gauges.
+
+    Called when admission state changes (admit, release, reject), so
+    ``/metrics`` always shows the live in-flight count.
+    """
+    registry.gauge(
+        "repro_inflight_queries",
+        "Queries currently evaluating.",
+    ).set(inflight)
+    registry.gauge(
+        "repro_admission_queue_depth",
+        "Admission slots in use beyond completed work "
+        "(waiting + running minus capacity headroom).",
+    ).set(queue_depth)
 
 
 def export_database_gauges(registry: MetricsRegistry,

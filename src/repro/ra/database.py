@@ -108,6 +108,13 @@ class Database:
         self._bulk_dirty: set[str] = set()
         #: when False, `match` falls back to full scans (for ablations)
         self.indexed = indexed
+        #: when True every mutation raises — the concurrent query
+        #: service marks each published MVCC snapshot read-only, so a
+        #: reader that would scribble on shared state fails loudly
+        #: instead of corrupting other requests.  :meth:`copy` hands
+        #: back a *writable* database (engines copy-then-materialise),
+        #: which is exactly the per-request snapshot discipline.
+        self.read_only = False
         #: rows examined while matching (indexes make this ≈ answers)
         self.touches = 0
         #: lazy per-position index (re)builds — regressions in bulk
@@ -293,8 +300,16 @@ class Database:
             row = self._symbols.encode_row(row)
         return self.add_encoded(name, row)
 
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise EvaluationError(
+                "database is a read-only snapshot; writes go through "
+                "the epoch manager (which publishes a new snapshot), "
+                "never through a reader")
+
     def add_encoded(self, name: str, row: tuple) -> bool:
         """Insert one storage-space row (engine path — no encoding)."""
+        self._check_writable()
         row = tuple(row)
         self._check_arity(name, row)
         rows = self._relations.setdefault(name, set())
@@ -331,6 +346,7 @@ class Database:
 
     def remove_encoded(self, name: str, row: tuple) -> bool:
         """Delete one storage-space row; True when it was present."""
+        self._check_writable()
         row = tuple(row)
         rows = self._relations.get(name)
         if rows is None or row not in rows:
@@ -425,6 +441,7 @@ class Database:
 
     def declare(self, name: str, arity: int) -> None:
         """Register an (initially empty) relation with known arity."""
+        self._check_writable()
         self._check_arity(name, (None,) * arity)
         self._relations.setdefault(name, set())
 

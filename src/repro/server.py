@@ -4,8 +4,9 @@
 service built entirely on the stdlib:
 
 * ``POST /query`` — evaluate a query; JSON in
-  (``{"query": "P(a, Y)", "engine"?: ..., "workers"?: ...}``), JSON
-  out (answers, count, duration, the query's full
+  (``{"query": "P(a, Y)", "engine"?: ..., "workers"?: ...,
+  "timeout_s"?: ..., "max_rows"?: ...}``), JSON out (answers, count,
+  outcome, epoch, duration, the query's full
   :meth:`~repro.engine.stats.EvaluationStats.to_dict`).  The
   ``answers`` array is rendered straight from the lazy columnar
   :class:`~repro.ra.answers.AnswerSet`: one ``json.dumps`` per
@@ -13,30 +14,38 @@ service built entirely on the stdlib:
   one fragment per row, written in bounded chunks under a
   precomputed ``Content-Length`` — the only point in the service
   where decode is forced, metered by ``repro_decode_seconds``;
+* ``POST /facts`` — one write batch
+  (``{"add"?: {pred: [rows]}, "remove"?: {pred: [rows]},
+  "rules"?: [text]}``) applied atomically as one epoch;
 * ``GET /metrics`` — the session registry in Prometheus text
   exposition format (database gauges refreshed at scrape time);
-* ``GET /healthz`` — liveness (200 + uptime/served counters);
+* ``GET /healthz`` — liveness (200 + uptime/served/epoch counters);
 * ``GET /stats`` — the registry's JSON snapshot plus server info.
 
-The handler runs on :class:`http.server.ThreadingHTTPServer`; the
-metrics registry is thread-safe, and *evaluation* is serialised by one
-lock — the session's lazy caches (plan cache, indexes, hash tables,
-materialisation) are not designed for concurrent mutation, and a
-correct answer beats a concurrently wrong one.  Scrapes of
-``/metrics``/``/healthz`` never wait on a running query.
+Concurrency model (:mod:`repro.service`): there is **no query lock**.
+Reads run concurrently on the published epoch snapshot — an immutable
+:meth:`~repro.session.DeductiveDatabase.fork_reader` republished
+atomically after every write batch — so a query sees either the
+pre-batch or post-batch database, never a mix.  Admission control
+bounds concurrent evaluations (excess requests get ``429`` with
+``Retry-After``); per-query wall-clock budgets abort the fixpoint at a
+round boundary (``408``); row limits return sound partial answers
+flagged ``"truncated"``; during drain new queries get ``503``.
+Scrapes of ``/metrics``/``/healthz`` never wait on a running query.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter, time
 
 from .datalog.errors import ReproError
-from .engine.stats import EvaluationStats
+from .engine.deadline import QueryTimeout
 from .metrics.instrument import observe_decode
 from .ra.answers import AnswerSet
+from .service import (AdmissionRejected, EpochManager, QueryService,
+                      ServiceDraining)
 from .session import DeductiveDatabase
 
 __all__ = ["QueryServer"]
@@ -47,19 +56,31 @@ class QueryServer:
 
     *session* should carry a metrics registry (``/metrics`` renders an
     empty page otherwise); ``port=0`` binds an ephemeral port, read it
-    back from :attr:`port`.
+    back from :attr:`port`.  *session* stays the authoritative store —
+    the server wraps it in an :class:`~repro.service.EpochManager` and
+    serves reads from published snapshots.
     """
 
     def __init__(self, session: DeductiveDatabase,
                  host: str = "127.0.0.1", port: int = 8080,
                  default_engine: str = "compiled",
-                 default_workers: int | None = None) -> None:
+                 default_workers: int | None = None,
+                 max_inflight: int = 8,
+                 query_timeout_s: float | None = None,
+                 max_rows: int | None = None,
+                 drain_grace_s: float = 10.0) -> None:
         self.session = session
         self.default_engine = default_engine
         self.default_workers = default_workers
+        self.drain_grace_s = drain_grace_s
+        self.epochs = EpochManager(session, metrics=session.metrics)
+        self.service = QueryService(self.epochs,
+                                    max_inflight=max_inflight,
+                                    query_timeout_s=query_timeout_s,
+                                    max_rows=max_rows)
         self.started_at = time()
         self.queries_served = 0
-        self._query_lock = threading.Lock()
+        self._shutdown_done = False
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -74,7 +95,13 @@ class QueryServer:
             def do_POST(self):  # noqa: N802
                 server._post(self)
 
-        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        class _Server(ThreadingHTTPServer):
+            # the stdlib default backlog (5) resets simultaneous
+            # connects from even modest client fleets; admission
+            # control, not the listen queue, is the intended gate
+            request_queue_size = 128
+
+        self.httpd = _Server((host, port), _Handler)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -89,8 +116,31 @@ class QueryServer:
     def serve_forever(self) -> None:
         self.httpd.serve_forever()
 
-    def shutdown(self) -> None:
+    def graceful_shutdown(self, grace_s: float | None = None) -> bool:
+        """Drain in-flight queries, log the fact, stop the listener.
+
+        New queries get ``503`` the moment the drain starts; in-flight
+        ones get up to *grace_s* (default: the server's
+        ``drain_grace_s``) to finish.  Safe to call more than once and
+        from any thread except the one inside :meth:`serve_forever`.
+        Returns whether the drain completed cleanly.
+        """
+        if self._shutdown_done:
+            return True
+        self._shutdown_done = True
+        grace = self.drain_grace_s if grace_s is None else grace_s
+        drained = self.service.drain(grace)
+        if self.session.query_log is not None:
+            self.session.query_log.log(
+                event="server_shutdown", drained=drained,
+                queries_served=self.queries_served,
+                epoch=self.epochs.current.number,
+                uptime_s=round(time() - self.started_at, 3))
         self.httpd.shutdown()
+        return drained
+
+    def shutdown(self) -> None:
+        self.graceful_shutdown()
 
     def close(self) -> None:
         self.httpd.server_close()
@@ -99,23 +149,28 @@ class QueryServer:
 
     @staticmethod
     def _send(handler, status: int, body: str,
-              content_type: str = "application/json") -> None:
+              content_type: str = "application/json",
+              headers: dict | None = None) -> None:
         payload = body.encode("utf-8")
         handler.send_response(status)
         handler.send_header("Content-Type",
                             f"{content_type}; charset=utf-8")
         handler.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            handler.send_header(name, str(value))
         handler.end_headers()
         handler.wfile.write(payload)
 
-    def _send_json(self, handler, status: int, document: dict) -> None:
+    def _send_json(self, handler, status: int, document: dict,
+                   headers: dict | None = None) -> None:
         self._send(handler, status,
                    json.dumps(document, ensure_ascii=False, indent=2)
-                   + "\n")
+                   + "\n", headers=headers)
 
     def _send_query_response(self, handler, *, query: str, engine: str,
                              rows: list, duration_s: float,
-                             stats: dict) -> None:
+                             stats: dict, outcome: str,
+                             epoch: int) -> None:
         """Render a ``/query`` response around pre-sorted *rows*.
 
         The envelope round-trips through ``json.dumps``; the
@@ -128,8 +183,10 @@ class QueryServer:
         head = json.dumps(
             {"query": query, "engine": engine, "count": len(rows)},
             ensure_ascii=False, indent=2)[:-2]
-        tail = json.dumps({"duration_s": duration_s, "stats": stats},
-                          ensure_ascii=False, indent=2)[2:]
+        tail = json.dumps(
+            {"outcome": outcome, "truncated": outcome == "truncated",
+             "epoch": epoch, "duration_s": duration_s, "stats": stats},
+            ensure_ascii=False, indent=2)[2:]
         memo: dict = {}
 
         def fragment(value) -> str:
@@ -170,9 +227,14 @@ class QueryServer:
         path = handler.path.split("?", 1)[0]
         if path == "/healthz":
             self._send_json(handler, 200, {
-                "status": "ok",
+                "status": ("draining" if self.service.draining
+                           else "ok"),
                 "uptime_s": round(time() - self.started_at, 3),
                 "queries_served": self.queries_served,
+                "epoch": self.epochs.current.number,
+                "inflight": self.service.inflight,
+                "admitted_total": self.service.admitted_total,
+                "rejected_total": self.service.rejected_total,
                 "predicates": sorted(
                     self.session.idb_predicates
                     | set(self.session._edb.relation_names)),
@@ -191,6 +253,12 @@ class QueryServer:
             snapshot["server"] = {
                 "uptime_s": round(time() - self.started_at, 3),
                 "queries_served": self.queries_served,
+                "epoch": self.epochs.current.number,
+                "inflight": self.service.inflight,
+                "max_inflight": self.service.max_inflight,
+                "admitted_total": self.service.admitted_total,
+                "rejected_total": self.service.rejected_total,
+                "completed_total": self.service.completed_total,
             }
             self._send_json(handler, 200, snapshot)
         else:
@@ -199,10 +267,15 @@ class QueryServer:
 
     def _post(self, handler) -> None:
         path = handler.path.split("?", 1)[0]
-        if path != "/query":
+        if path == "/query":
+            self._post_query(handler)
+        elif path == "/facts":
+            self._post_facts(handler)
+        else:
             self._send_json(handler, 404,
                             {"error": f"unknown path {path!r}"})
-            return
+
+    def _read_body(self, handler) -> dict | None:
         try:
             length = int(handler.headers.get("Content-Length", 0))
             request = json.loads(
@@ -210,8 +283,18 @@ class QueryServer:
         except (ValueError, UnicodeDecodeError) as error:
             self._send_json(handler, 400,
                             {"error": f"bad request body: {error}"})
+            return None
+        if not isinstance(request, dict):
+            self._send_json(handler, 400,
+                            {"error": "request must be a JSON object"})
+            return None
+        return request
+
+    def _post_query(self, handler) -> None:
+        request = self._read_body(handler)
+        if request is None:
             return
-        if not isinstance(request, dict) or "query" not in request:
+        if "query" not in request:
             self._send_json(
                 handler, 400,
                 {"error": 'request must be a JSON object with a '
@@ -219,14 +302,29 @@ class QueryServer:
             return
         engine = request.get("engine", self.default_engine)
         workers = request.get("workers", self.default_workers)
-        stats = EvaluationStats()
+        timeout_s = request.get("timeout_s")
+        max_rows = request.get("max_rows")
         started = perf_counter()
         try:
-            with self._query_lock:
-                answers = self.session.query(
-                    str(request["query"]), stats=stats, engine=engine,
-                    workers=workers)
-                self.queries_served += 1
+            result = self.service.run(str(request["query"]),
+                                      engine=engine, workers=workers,
+                                      timeout_s=timeout_s,
+                                      max_rows=max_rows)
+        except AdmissionRejected as error:
+            self._send_json(
+                handler, 429,
+                {"error": str(error),
+                 "retry_after_s": error.retry_after_s},
+                headers={"Retry-After": error.retry_after_s})
+            return
+        except ServiceDraining as error:
+            self._send_json(handler, 503, {"error": str(error)})
+            return
+        except QueryTimeout as error:
+            self._send_json(
+                handler, 408,
+                {"error": str(error), "outcome": "timeout"})
+            return
         except (ReproError, ValueError) as error:
             self._send_json(handler, 400, {"error": str(error)})
             return
@@ -235,7 +333,9 @@ class QueryServer:
                 handler, 500,
                 {"error": f"{type(error).__name__}: {error}"})
             return
+        self.queries_served += 1
         duration_s = round(perf_counter() - started, 6)
+        answers = result.answers
         # Rendering is where a lazy answer set is finally forced;
         # meter that decode (and only that — a cached, already-decoded
         # set records nothing) before streaming the body.
@@ -250,5 +350,47 @@ class QueryServer:
                            answers.decode_seconds, len(answers))
         self._send_query_response(
             handler, query=str(request["query"]),
-            engine=stats.engine or engine, rows=rows,
-            duration_s=duration_s, stats=stats.to_dict())
+            engine=result.stats.engine or engine, rows=rows,
+            duration_s=duration_s, stats=result.stats.to_dict(),
+            outcome=result.outcome, epoch=result.epoch)
+
+    def _post_facts(self, handler) -> None:
+        request = self._read_body(handler)
+        if request is None:
+            return
+        if self.service.draining:
+            self._send_json(
+                handler, 503,
+                {"error": "service is draining; writes refused"})
+            return
+        add = request.get("add") or {}
+        remove = request.get("remove") or {}
+        rules = request.get("rules") or []
+        if (not isinstance(add, dict) or not isinstance(remove, dict)
+                or not isinstance(rules, list)):
+            self._send_json(
+                handler, 400,
+                {"error": '"add"/"remove" must be objects mapping '
+                          'predicates to row arrays and "rules" an '
+                          'array of rule strings'})
+            return
+        started = perf_counter()
+        try:
+            epoch = self.service.apply_batch(add=add, remove=remove,
+                                             rules=rules)
+        except (ReproError, ValueError, TypeError) as error:
+            self._send_json(handler, 400, {"error": str(error)})
+            return
+        except Exception as error:  # defensive: keep serving
+            self._send_json(
+                handler, 500,
+                {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send_json(handler, 200, {
+            "epoch": epoch.number,
+            "added": {p: len(list(rows)) for p, rows in add.items()},
+            "removed": {p: len(list(rows))
+                        for p, rows in remove.items()},
+            "rules": len(rules),
+            "duration_s": round(perf_counter() - started, 6),
+        })

@@ -124,6 +124,19 @@ class DeductiveDatabase:
         self._edb.bulk(predicate, rows)
         self._invalidate(rules_changed=False)
 
+    def remove_fact(self, predicate: str, *values: object) -> bool:
+        """Delete one ground fact; True when it was present."""
+        removed = self._edb.remove(predicate, tuple(values))
+        self._invalidate(rules_changed=False)
+        return removed
+
+    def remove_facts(self, predicate: str,
+                     rows: Iterable[tuple]) -> int:
+        """Delete many ground facts; number actually removed."""
+        removed = self._edb.bulk_remove(predicate, rows)
+        self._invalidate(rules_changed=False)
+        return removed
+
     def _add_fact_atom(self, fact: Atom) -> None:
         values = []
         for term in fact.args:
@@ -143,6 +156,43 @@ class DeductiveDatabase:
             # fact changes are covered by the epoch in the cache key;
             # rule changes alter derivations at the same epoch
             self._answer_cache.clear()
+
+    # -- snapshot forking ------------------------------------------------
+
+    def fork_reader(self) -> "DeductiveDatabase":
+        """An immutable snapshot of this session for concurrent reads.
+
+        The fork is what the epoch manager publishes after each write
+        batch: its database is an independent :meth:`Database.copy`
+        (row sets copied, symbol table and version-tagged join caches
+        shared) marked **read-only**, so a reader that would mutate
+        shared state raises instead of corrupting other requests.
+        Rules and the derived caches are carried over by value, so the
+        fork answers exactly what the base would have answered at this
+        instant — later mutations of the base are invisible to it.
+
+        Concurrency contract of a fork: any number of threads may call
+        :meth:`query` on it simultaneously.  Every fixpoint already
+        copies the database before materialising
+        (:meth:`_materialise_below`), so per-request evaluation state
+        is private; what *is* shared between the fork's readers — the
+        plan/classification caches, the answer cache, a lazily
+        computed view materialisation — is filled with deterministic,
+        interchangeable values under single dict-slot assignments
+        (atomic under the GIL), so a race costs at most a duplicated
+        computation, never a wrong answer.
+        """
+        clone = object.__new__(DeductiveDatabase)
+        clone._rules = list(self._rules)
+        clone._edb = self._edb.copy()
+        clone._edb.read_only = True
+        clone._materialised = self._materialised
+        clone._plan_cache = dict(self._plan_cache)
+        clone._classification_cache = dict(self._classification_cache)
+        clone._answer_cache = dict(self._answer_cache)
+        clone.metrics = self.metrics
+        clone.query_log = self.query_log
+        return clone
 
     # -- structure -------------------------------------------------------
 
@@ -303,8 +353,16 @@ class DeductiveDatabase:
         local = stats if stats is not None else EvaluationStats()
         answers = self._evaluate_query_uncached(query, local, engine,
                                                 workers, None)
+        if local.truncated:
+            # a row-budget abort returned a sound but *partial* set;
+            # caching it would serve incomplete answers to later
+            # callers with laxer (or no) budgets
+            return answers
         if len(self._answer_cache) >= self._ANSWER_CACHE_LIMIT:
-            self._answer_cache.pop(next(iter(self._answer_cache)))
+            try:
+                self._answer_cache.pop(next(iter(self._answer_cache)))
+            except (KeyError, StopIteration, RuntimeError):
+                pass  # a concurrent reader evicted the same entry
         self._answer_cache[key] = (answers, local.engine or engine)
         return answers
 
@@ -428,6 +486,7 @@ class DeductiveDatabase:
         from .logutil import new_query_id
         from .metrics.instrument import (observe_query,
                                          observe_query_error)
+        from .engine.deadline import QueryTimeout
         from .engine.stats import delta_between
 
         local = stats if stats is not None else EvaluationStats()
@@ -440,23 +499,31 @@ class DeductiveDatabase:
         except Exception as error:
             duration = perf_counter() - started
             label = self._class_label(query.predicate)
+            # A deadline expiry is its own outcome in
+            # ``repro_queries_total`` (the admission layer budgets on
+            # it), distinct from genuine evaluation errors.
+            outcome = ("timeout" if isinstance(error, QueryTimeout)
+                       else "error")
             if self.metrics is not None:
                 observe_query_error(self.metrics, engine=engine,
                                     formula_class=label,
-                                    error=type(error).__name__)
+                                    error=type(error).__name__,
+                                    outcome=outcome)
             if self.query_log is not None:
                 self.query_log.log(
                     event="query", query_id=query_id,
                     query=str(query), predicate=query.predicate,
                     engine=engine, formula_class=label,
                     duration_s=round(duration, 6),
-                    outcome=type(error).__name__,
+                    outcome=outcome if outcome == "timeout"
+                    else type(error).__name__,
                     error=str(error))
             raise
         duration = perf_counter() - started
         delta = delta_between(before, local.to_dict())
         label = self._class_label(query.predicate)
         engine_label = local.engine or engine
+        outcome = "truncated" if local.truncated else "ok"
         if self.metrics is not None:
             # Answers that leave the query boundary still encoded: the
             # decode counter (repro_answers_decoded_total) ticks only
@@ -467,14 +534,15 @@ class DeductiveDatabase:
             observe_query(self.metrics, engine=engine_label,
                           formula_class=label, duration_s=duration,
                           answers=len(answers), stats_delta=delta,
-                          lazy_answers=len(answers) if lazy else 0)
+                          lazy_answers=len(answers) if lazy else 0,
+                          outcome=outcome)
         if self.query_log is not None:
             self.query_log.log(
                 event="query", query_id=query_id, query=str(query),
                 predicate=query.predicate, engine=engine_label,
                 formula_class=label, rounds=delta["rounds"],
                 answers=len(answers), duration_s=round(duration, 6),
-                outcome="ok")
+                outcome=outcome)
         return answers
 
     def _class_label(self, predicate: str) -> str:
