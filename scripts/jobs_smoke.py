@@ -1,0 +1,345 @@
+"""CI smoke: async jobs survive client disconnects, reconciled.
+
+End-to-end over a real subprocess and real sockets, in two phases:
+
+1. **disconnect/reconnect** — submit a deliberately slow background
+   job (the full transitive closure of a deep chain under the *naive*
+   engine — class A5, the unbounded recursion the paper's
+   classification sends to iterative evaluation) via ``POST /query``
+   with ``"mode": "async"``, then *drop* a polling connection mid-run
+   without reading the response.  While the job grinds on its worker
+   thread, a burst of fast synchronous queries — an EDB lookup, a
+   bound closure probe, and a **class-D** query (bounded recursion,
+   the classification's cheap class) — must all complete ``200`` with
+   zero ``429``/5xx: one slow job must not queue the fast path.
+   Reconnect, poll the job to ``done``, fetch the streamed result,
+   and assert the job counters in ``/healthz`` and the
+   ``repro_jobs_*``/``repro_job_*`` series in ``/metrics`` reconcile
+   **exactly** with what the client observed;
+2. **drain** — a fresh server with one job worker and a short grace:
+   submit three slow jobs (one runs, two queue) and SIGTERM while
+   they are in flight.  The process must exit 0 and the terminal
+   ``server_shutdown`` log line must report ``drained: true`` with
+   every job accounted for: submitted == finished, the queued ones
+   cancelled, the running one either finished or cooperatively
+   cancelled at a round boundary.
+
+Exits non-zero on the first violation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/jobs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+sys.path.insert(0, SRC)
+
+from repro.metrics import parse_prometheus_text  # noqa: E402
+
+CHAIN = 300  # nodes n0 … n300; naive closure ≈ several seconds
+CLOSURE_ROWS = CHAIN * (CHAIN + 1) // 2
+
+
+def _program_text() -> str:
+    lines = [
+        "P(x, y) :- A(x, z), P(z, y).",   # class A5 (the slow job)
+        "P(x, y) :- A(x, y).",
+        # class D: both recursive-atom variables are free of the head,
+        # so the recursion is bounded (rank ≤ 2) — the fast sync mix
+        "Dp(x, y) :- Ca(x, m), Cb(y, n), Dp(x1, y1).",
+        "Dp(x, y) :- E0(x, y).",
+        "Ca(c1, m1). Ca(c2, m2). Cb(c3, n1). Cb(c4, n2).",
+        "E0(c1, c3). E0(c2, c4).",
+    ]
+    lines += [f"A(n{i}, n{i + 1})." for i in range(CHAIN)]
+    return "\n".join(lines) + "\n"
+
+
+def _request(base: str, method: str, path: str,
+             document: dict | None = None):
+    data = (json.dumps(document).encode("utf-8")
+            if document is not None else None)
+    request = urllib.request.Request(
+        base + path, data, {"Content-Type": "application/json"},
+        method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _metrics(base: str) -> dict:
+    with urllib.request.urlopen(base + "/metrics",
+                                timeout=60) as response:
+        return parse_prometheus_text(response.read().decode("utf-8"))
+
+
+def _series_sum(samples: dict, name: str, **labels: str) -> float:
+    want = set(labels.items())
+    return sum(v for (n, pairs), v in samples.items()
+               if n == name and want <= set(pairs))
+
+
+def _boot(program: str, *args: str, log_path: str | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro", "serve", program,
+            "--port", "0", *args]
+    if log_path is not None:
+        argv += ["--log-json", log_path]
+    process = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                               stderr=subprocess.PIPE, text=True,
+                               env=env)
+    banner = process.stdout.readline().strip()
+    assert banner.startswith("serving on http://"), banner
+    return process, banner.split("serving on ", 1)[1]
+
+
+def _drop_connection_mid_poll(base: str, job_id: str) -> None:
+    """Open a poll request and hang up without reading the response.
+
+    This is the failure mode the job queue exists for: the client's
+    connection dying must not touch the evaluation.
+    """
+    host, port = base.split("//", 1)[1].split(":")
+    with socket.create_connection((host, int(port)),
+                                  timeout=10) as raw:
+        raw.sendall(f"GET /jobs/{job_id} HTTP/1.1\r\n"
+                    f"Host: {host}\r\n\r\n".encode("ascii"))
+        # hang up immediately — no read, no clean close handshake
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                       b"\x01\x00\x00\x00\x00\x00\x00\x00")
+
+
+def _phase_disconnect_reconnect(base: str) -> int:
+    failures = 0
+
+    status, submitted = _request(
+        base, "POST", "/query",
+        {"query": "P(X, Y)", "engine": "naive", "mode": "async"})
+    if status != 202:
+        print(f"async submit: {status} {submitted}", file=sys.stderr)
+        return failures + 1
+    job_id = submitted["id"]
+
+    # wait for the worker to pick the job up, then hang up on it
+    deadline = time.monotonic() + 30
+    state = "queued"
+    while state == "queued" and time.monotonic() < deadline:
+        _, body = _request(base, "GET", f"/jobs/{job_id}")
+        state = body["state"]
+        time.sleep(0.01)
+    if state != "running":
+        print(f"job never reached running (state={state!r}); "
+              f"the slow query finished too fast for the smoke",
+              file=sys.stderr)
+        failures += 1
+    _drop_connection_mid_poll(base, job_id)
+
+    # the fast sync path must stay fast while the job grinds
+    sync_ok = 0
+    fast_mix = [
+        ({"query": "A(n0, Y)"}, {("n0", "n1")}),          # EDB lookup
+        # class D: bounded at rank 2 — one recursion round closes the
+        # cross product dom(Ca) × dom(Cb) over the exit tuples
+        ({"query": "Dp(X, Y)"},
+         {("c1", "c3"), ("c1", "c4"), ("c2", "c3"), ("c2", "c4")}),
+        ({"query": "P(n299, Y)"}, {("n299", "n300")}),    # bound probe
+    ]
+    for _ in range(4):
+        for document, expected in fast_mix:
+            status, body = _request(base, "POST", "/query", document)
+            if status != 200:
+                print(f"sync query {document} got {status} while the "
+                      f"job ran: {body}", file=sys.stderr)
+                failures += 1
+                continue
+            sync_ok += 1
+            answers = {tuple(row) for row in body["answers"]}
+            if answers != expected:
+                print(f"sync query {document}: wrong answers "
+                      f"{answers}", file=sys.stderr)
+                failures += 1
+
+    # reconnect and poll the job to completion
+    deadline = time.monotonic() + 120
+    final = None
+    while time.monotonic() < deadline:
+        _, final = _request(base, "GET", f"/jobs/{job_id}")
+        if final["state"] not in ("queued", "running"):
+            break
+        time.sleep(0.25)
+    if final is None or final["state"] != "done":
+        print(f"job did not finish done: {final}", file=sys.stderr)
+        return failures + 1
+    if final["progress"]["rounds"] < CHAIN:
+        print(f"done job reports only {final['progress']['rounds']} "
+              f"rounds for a {CHAIN}-deep chain", file=sys.stderr)
+        failures += 1
+
+    status, result = _request(base, "GET", f"/jobs/{job_id}/result")
+    if status != 200 or result["count"] != CLOSURE_ROWS:
+        print(f"result fetch: status {status}, "
+              f"{result.get('count')} rows (expected {CLOSURE_ROWS})",
+              file=sys.stderr)
+        failures += 1
+    if result.get("outcome") != "ok" or result.get("epoch") != 0:
+        print(f"result envelope wrong: {result.get('outcome')} "
+              f"epoch {result.get('epoch')}", file=sys.stderr)
+        failures += 1
+
+    # -- exact reconciliation: client ledger vs /healthz vs /metrics --
+    _, health = _request(base, "GET", "/healthz")
+    jobs = health["jobs"]
+    expected_jobs = {"queued": 0, "running": 0, "submitted_total": 1,
+                     "finished_total": 1}
+    for key, want in expected_jobs.items():
+        if jobs[key] != want:
+            print(f"healthz jobs.{key}: {jobs[key]} != {want}",
+                  file=sys.stderr)
+            failures += 1
+    if jobs["outcomes"]["done"] != 1 or sum(
+            jobs["outcomes"].values()) != 1:
+        print(f"healthz jobs.outcomes: {jobs['outcomes']}",
+              file=sys.stderr)
+        failures += 1
+    if health["queries_served"] != sync_ok:
+        print(f"healthz queries_served {health['queries_served']} != "
+              f"{sync_ok} sync 200s (async jobs must not count)",
+              file=sys.stderr)
+        failures += 1
+
+    samples = _metrics(base)
+    checks = [
+        ("repro_jobs_submitted_total",
+         _series_sum(samples, "repro_jobs_submitted_total"), 1),
+        ("repro_jobs_total{outcome=done}",
+         _series_sum(samples, "repro_jobs_total", outcome="done"), 1),
+        ("repro_jobs_total (all outcomes)",
+         _series_sum(samples, "repro_jobs_total"), 1),
+        ("repro_job_queue_depth",
+         _series_sum(samples, "repro_job_queue_depth"), 0),
+        ("repro_jobs_running",
+         _series_sum(samples, "repro_jobs_running"), 0),
+        ("repro_job_run_seconds_count",
+         _series_sum(samples, "repro_job_run_seconds_count"), 1),
+        ("repro_job_queue_wait_seconds_count",
+         _series_sum(samples, "repro_job_queue_wait_seconds_count"),
+         1),
+        ("repro_queries_rejected_total",
+         _series_sum(samples, "repro_queries_rejected_total"), 0),
+    ]
+    for name, got, expected in checks:
+        if got != expected:
+            print(f"{name}: metrics say {got}, client ledger says "
+                  f"{expected}", file=sys.stderr)
+            failures += 1
+
+    print(f"phase 1: async job survived a dropped poll connection, "
+          f"{sync_ok} fast sync queries flowed un-queued beside it, "
+          f"{CLOSURE_ROWS} rows fetched after reconnect; /healthz "
+          f"and /metrics job counters reconcile exactly")
+    return failures
+
+
+def _phase_sigterm_drain(program: str, workdir: str) -> int:
+    failures = 0
+    log_path = os.path.join(workdir, "jobs.jsonl")
+    process, base = _boot(program, "--job-workers", "1",
+                          "--drain-grace", "2",
+                          log_path=log_path)
+    try:
+        ids = []
+        for _ in range(3):
+            status, body = _request(base, "POST", "/jobs",
+                                    {"query": "P(X, Y)",
+                                     "engine": "naive"})
+            if status != 202:
+                print(f"drain-phase submit: {status} {body}",
+                      file=sys.stderr)
+                return failures + 1
+            ids.append(body["id"])
+        # let the single worker pick up the first job, keeping the
+        # other two queued, then pull the plug
+        time.sleep(1.0)
+    finally:
+        process.terminate()
+        process.wait(timeout=60)
+
+    if process.returncode != 0:
+        print(f"SIGTERM exit code {process.returncode}, expected 0",
+              file=sys.stderr)
+        failures += 1
+    with open(log_path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[-1].get("event") != "server_shutdown":
+        print("log does not end with a server_shutdown line",
+              file=sys.stderr)
+        return failures + 1
+    last = lines[-1]
+    if not last.get("drained"):
+        print(f"server_shutdown reports drained=false: {last}",
+              file=sys.stderr)
+        failures += 1
+    if last.get("jobs_submitted") != 3:
+        print(f"server_shutdown jobs_submitted "
+              f"{last.get('jobs_submitted')} != 3", file=sys.stderr)
+        failures += 1
+    if last.get("jobs_finished") != 3:
+        print(f"drain left jobs unaccounted for: finished "
+              f"{last.get('jobs_finished')} of 3", file=sys.stderr)
+        failures += 1
+    # the two queued jobs are always cancelled; the running one
+    # either finished inside the grace or was cancelled at a round
+    # boundary — both are clean
+    if not 2 <= last.get("jobs_cancelled", -1) <= 3:
+        print(f"server_shutdown jobs_cancelled "
+              f"{last.get('jobs_cancelled')} not in [2, 3]",
+              file=sys.stderr)
+        failures += 1
+    print(f"phase 2: SIGTERM with 1 running + 2 queued jobs exited "
+          f"cleanly; all 3 accounted for "
+          f"({last.get('jobs_cancelled')} cancelled), drained=true")
+    return failures
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory() as workdir:
+        program = os.path.join(workdir, "jobs.dl")
+        with open(program, "w", encoding="utf-8") as handle:
+            handle.write(_program_text())
+
+        process, base = _boot(program, "--job-workers", "1")
+        try:
+            failures += _phase_disconnect_reconnect(base)
+        finally:
+            process.terminate()
+            process.wait(timeout=60)
+
+        failures += _phase_sigterm_drain(program, workdir)
+
+    if failures:
+        print(f"jobs smoke: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("jobs smoke: disconnect/reconnect, fast-path isolation and "
+          "drain all reconcile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

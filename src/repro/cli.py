@@ -259,7 +259,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          max_inflight=args.max_inflight,
                          query_timeout_s=args.query_timeout,
                          max_rows=args.max_rows,
-                         drain_grace_s=args.drain_grace)
+                         drain_grace_s=args.drain_grace,
+                         job_workers=args.job_workers,
+                         job_ttl_s=args.job_ttl)
 
     def _graceful(signum, frame) -> None:
         # serve_forever() runs on this (main) thread and
@@ -393,8 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve", help="serve a program over HTTP with metrics "
-                      "(POST /query, POST /facts, GET /metrics, "
-                      "/healthz, /stats)")
+                      "(POST /query, POST /facts, POST /jobs + "
+                      "async polling, GET /metrics, /healthz, "
+                      "/stats)")
     p_serve.add_argument("program", help="file with rules and facts")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
@@ -419,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "stops at the next round boundary and "
                               "the partial answers are flagged "
                               "truncated")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         help="worker threads draining async jobs "
+                              "(POST /jobs); keep below "
+                              "--max-inflight so synchronous queries "
+                              "retain admission headroom")
+    p_serve.add_argument("--job-ttl", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="how long a finished job's result is "
+                              "retained for GET /jobs/<id>/result")
     p_serve.add_argument("--drain-grace", type=float, default=10.0,
                          metavar="SECONDS",
                          help="how long shutdown waits for in-flight "

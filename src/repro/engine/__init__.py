@@ -9,7 +9,7 @@ proves they persist.
 from .compiled import CompiledEngine
 from .conjunctive import (Binding, pattern_of, satisfiable, solve,
                           solve_project)
-from .deadline import Deadline, QueryTimeout
+from .deadline import Deadline, QueryCancelled, QueryTimeout
 from .naive import NaiveEngine
 from .incremental import MaterializedRecursion
 from .partition import partition_rows, probe_key_positions
@@ -29,7 +29,7 @@ ALL_ENGINES = (NaiveEngine, SemiNaiveEngine, CompiledEngine,
 
 __all__ = [
     "ALL_ENGINES", "Binding", "CompiledEngine", "Deadline",
-    "EvaluationStats", "QueryTimeout",
+    "EvaluationStats", "QueryCancelled", "QueryTimeout",
     "JoinPlan", "JoinStep", "NaiveEngine", "Query", "SemiNaiveEngine",
     "ShardedSemiNaiveEngine",
     "TRACE_SCHEMA_VERSION", "RoundSpan", "RuleSpan", "Trace", "Tracer",

@@ -110,7 +110,21 @@ class MaterializedRecursion:
 
         *trace* records the insertion's differentiation seed round and
         each semi-naive propagation round (``trace=None`` is free).
+
+        A :class:`~repro.engine.deadline.Deadline` installed on
+        ``self.stats.deadline`` is enforced at the same round
+        boundaries as every other engine: the wall-clock budget (or a
+        cancel flag) raises after the seed round or any propagation
+        round, and the row budget stops propagation with
+        ``stats.truncated`` set.  Either abort leaves the
+        materialisation *partial*: the inserted base facts are in the
+        database but their consequences are not all derived, so the
+        maintained view is only sound, not complete, until the caller
+        re-seeds it (budgeted maintenance is opt-in for exactly the
+        callers that accept that trade).
         """
+        deadline = self.stats.deadline
+        self.stats.truncated = False
         if trace is not None:
             trace.begin("incremental",
                         predicate=self._system.predicate)
@@ -138,6 +152,11 @@ class MaterializedRecursion:
         if trace is not None:
             trace.end_round(len(delta), self.stats,
                             inserted=len(fresh))
+        if deadline is not None:
+            deadline.check_time()
+            if deadline.out_of_rows(len(added)):
+                self.stats.truncated = True
+                delta = set()  # round boundary: stop propagation
         # propagate through the recursive rule semi-naively
         recursive = self._system.recursive
         body_rest = list(recursive.nonrecursive_atoms)
@@ -154,6 +173,11 @@ class MaterializedRecursion:
             self.stats.record_round(len(delta))
             if trace is not None:
                 trace.end_round(len(delta), self.stats)
+            if deadline is not None:
+                deadline.check_time()
+                if deadline.out_of_rows(len(added)):
+                    self.stats.truncated = True
+                    break
         if trace is not None:
             trace.finish(len(added), self.stats)
         if self._db.interned:

@@ -219,6 +219,15 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
                          recursive_vars, head_args, delta: set[tuple],
                          stats: EvaluationStats,
                          trace=None) -> set[tuple]:
+        # The inherited semi-naive loop enforces the full deadline
+        # (wall clock, row budget, cancel) after every round; a
+        # *partitioned* round can itself be long, so the wall-clock/
+        # cancel check additionally runs at shard boundaries here —
+        # a shard is never interrupted (the soundness unit), but a
+        # round of many shards cannot overshoot the budget by more
+        # than one shard's work.  The row budget stays a round-
+        # boundary concern: only the caller knows the running total.
+        deadline = stats.deadline
         if self.workers > 0 and len(delta) < self.min_parallel_rows:
             stats.sequential_rounds += 1
             if trace is not None:
@@ -242,6 +251,8 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
             new: set[tuple] = set()
             walls: list[float] = []
             for shard in shards:
+                if deadline is not None:
+                    deadline.check_time()
                 started = time.perf_counter()
                 new |= apply_rule(database, body_rest, recursive_vars,
                                   head_args, shard, stats)
@@ -259,6 +270,10 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
                 if step.key_positions:
                     probe_table(database, step.predicate,
                                 step.key_positions)
+        if deadline is not None:
+            # last chance before committing a whole pooled round's
+            # worth of work (and after it returns, below)
+            deadline.check_time()
         pool = self._ensure_pool()
         if pool is None:
             stats.pool_fallbacks += 1
@@ -278,6 +293,8 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
             return apply_rule(database, body_rest, recursive_vars,
                               head_args, delta, stats)
         stats.pool_round_trip_s += time.perf_counter() - started
+        if deadline is not None:
+            deadline.check_time()
         new = set()
         walls = []
         for answers, shard_stats, wall in results:

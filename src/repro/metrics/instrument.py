@@ -12,6 +12,7 @@ metric                                labels                   kind
 ``repro_query_errors_total``          engine, error            counter
 ``repro_queries_rejected_total``      —                        counter
 ``repro_queries_timed_out_total``     —                        counter
+``repro_queries_cancelled_total``     —                        counter
 ``repro_query_duration_seconds``      engine, formula_class    histogram
 ``repro_query_answers``               engine, formula_class    histogram
 ``repro_rounds_total``                engine                   counter
@@ -39,6 +40,12 @@ metric                                labels                   kind
 ``repro_epoch``                       —                        gauge
 ``repro_snapshot_age_seconds``        —                        histogram
 ``repro_epoch_publish_seconds``       —                        histogram
+``repro_jobs_submitted_total``        —                        counter
+``repro_jobs_total``                  outcome                  counter
+``repro_job_queue_depth``             —                        gauge
+``repro_jobs_running``                —                        gauge
+``repro_job_queue_wait_seconds``      —                        histogram
+``repro_job_run_seconds``             —                        histogram
 ===================================== ======================== =========
 
 (The sharded engine's pool-health metrics are owned by
@@ -61,6 +68,8 @@ from .registry import MetricsRegistry
 __all__ = ["observe_query", "observe_query_error", "observe_decode",
            "observe_rejection", "observe_epoch_publish",
            "observe_snapshot_age", "set_admission_gauges",
+           "observe_job_submitted", "observe_job_finished",
+           "set_job_gauges",
            "export_database_gauges", "LATENCY_BUCKETS",
            "COUNT_BUCKETS"]
 
@@ -169,10 +178,11 @@ def observe_query_error(registry: MetricsRegistry, *, engine: str,
                         outcome: str = "error") -> None:
     """Record one failed query under both the rate and error names.
 
-    *outcome* ``"timeout"`` marks a wall-clock deadline expiry: it
-    gets its own outcome label and dedicated counter instead of
-    ``repro_query_errors_total``, which stays a count of *genuine*
-    evaluation failures.
+    *outcome* ``"timeout"`` marks a wall-clock deadline expiry and
+    ``"cancelled"`` a cooperative cancellation (a deleted job, a
+    draining server): each gets its own outcome label and dedicated
+    counter instead of ``repro_query_errors_total``, which stays a
+    count of *genuine* evaluation failures.
     """
     registry.counter(
         "repro_queries_total", "Queries answered, by outcome.",
@@ -182,6 +192,12 @@ def observe_query_error(registry: MetricsRegistry, *, engine: str,
         registry.counter(
             "repro_queries_timed_out_total",
             "Queries aborted by their wall-clock deadline.",
+        ).inc()
+        return
+    if outcome == "cancelled":
+        registry.counter(
+            "repro_queries_cancelled_total",
+            "Queries aborted by a cooperative cancel flag.",
         ).inc()
         return
     registry.counter(
@@ -196,6 +212,60 @@ def observe_rejection(registry: MetricsRegistry) -> None:
         "repro_queries_rejected_total",
         "Queries rejected by admission control (429).",
     ).inc()
+
+
+def observe_job_submitted(registry: MetricsRegistry) -> None:
+    """Record one background job accepted into the queue.
+
+    Together with ``repro_jobs_total`` this reconciles exactly:
+    ``submitted == sum(outcomes) + queued + running`` at any quiesced
+    instant (the jobs smoke asserts it through the wire).
+    """
+    registry.counter(
+        "repro_jobs_submitted_total",
+        "Background jobs accepted into the queue.",
+    ).inc()
+
+
+def observe_job_finished(registry: MetricsRegistry, *, outcome: str,
+                         queue_wait_s: float,
+                         run_s: float | None) -> None:
+    """Record one job reaching a terminal state.
+
+    *run_s* is ``None`` for jobs that never ran (cancelled while
+    queued) — they count in the outcome counter and the queue-wait
+    histogram but not in the run-duration one.
+    """
+    registry.counter(
+        "repro_jobs_total", "Background jobs finished, by outcome.",
+        ("outcome",),
+    ).inc(outcome=outcome)
+    registry.histogram(
+        "repro_job_queue_wait_seconds",
+        "Time from job submission to its run starting (or to "
+        "cancellation while still queued).",
+        buckets=LATENCY_BUCKETS,
+    ).observe(queue_wait_s)
+    if run_s is not None:
+        registry.histogram(
+            "repro_job_run_seconds",
+            "Wall-clock run time of one background job (admission "
+            "wait included).",
+            buckets=LATENCY_BUCKETS,
+        ).observe(run_s)
+
+
+def set_job_gauges(registry: MetricsRegistry, *, queue_depth: int,
+                   running: int) -> None:
+    """Set the point-in-time job-queue gauges."""
+    registry.gauge(
+        "repro_job_queue_depth",
+        "Background jobs waiting for a worker.",
+    ).set(queue_depth)
+    registry.gauge(
+        "repro_jobs_running",
+        "Background jobs currently evaluating.",
+    ).set(running)
 
 
 def observe_epoch_publish(registry: MetricsRegistry, *, epoch: int,

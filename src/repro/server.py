@@ -17,10 +17,32 @@ service built entirely on the stdlib:
 * ``POST /facts`` — one write batch
   (``{"add"?: {pred: [rows]}, "remove"?: {pred: [rows]},
   "rules"?: [text]}``) applied atomically as one epoch;
+* ``POST /jobs`` (or ``POST /query`` with ``"mode": "async"``) —
+  submit the same query document as a background job: the response is
+  an immediate ``202`` with a job id, the evaluation runs later on a
+  worker thread against the epoch snapshot **pinned at submit time**
+  (:mod:`repro.jobs`), so a class-D/E/F fixpoint that outlives any
+  HTTP connection still completes and its result survives client
+  disconnects until the TTL;
+* ``GET /jobs`` / ``GET /jobs/<id>`` — job list / one job's status
+  (``queued | running | done | timeout | truncated | error |
+  cancelled``) with live progress (rounds completed, rows derived so
+  far);
+* ``GET /jobs/<id>/result`` — the finished job's answers, streamed
+  through the same columnar renderer as a synchronous ``/query``;
+* ``DELETE /jobs/<id>`` — cancel: a queued job dies immediately, a
+  running one aborts cooperatively at its next round boundary;
 * ``GET /metrics`` — the session registry in Prometheus text
   exposition format (database gauges refreshed at scrape time);
-* ``GET /healthz`` — liveness (200 + uptime/served/epoch counters);
+* ``GET /healthz`` — liveness (200 + uptime/served/epoch/job
+  counters);
 * ``GET /stats`` — the registry's JSON snapshot plus server info.
+
+Request parameters (``engine``, ``workers``, ``timeout_s``,
+``max_rows``, ``mode``) are validated up front: a malformed value —
+``"timeout_s": "5"``, a negative row cap, an unknown mode — is a
+``400`` with a field-specific error body, never a ``500`` out of the
+engine internals.
 
 Concurrency model (:mod:`repro.service`): there is **no query lock**.
 Reads run concurrently on the published epoch snapshot — an immutable
@@ -37,11 +59,14 @@ Scrapes of ``/metrics``/``/healthz`` never wait on a running query.
 from __future__ import annotations
 
 import json
+import math
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter, time
 
 from .datalog.errors import ReproError
 from .engine.deadline import QueryTimeout
+from .jobs import JobQueue, JobQueueFull, JobStates, UnknownJob
 from .metrics.instrument import observe_decode
 from .ra.answers import AnswerSet
 from .service import (AdmissionRejected, EpochManager, QueryService,
@@ -49,6 +74,62 @@ from .service import (AdmissionRejected, EpochManager, QueryService,
 from .session import DeductiveDatabase
 
 __all__ = ["QueryServer"]
+
+
+class _BadRequest(ValueError):
+    """A request document failed validation (field-specific 400)."""
+
+
+def _validate_query_request(request: dict, *, default_engine: str,
+                            default_workers: int | None) -> dict:
+    """Normalise a ``/query``-shaped document or raise :class:`_BadRequest`.
+
+    Every client-supplied knob is checked for type and range *before*
+    anything reaches the engine layer, so a request like
+    ``{"timeout_s": "5"}`` is a clear 400 naming the field instead of
+    a 500 out of ``Deadline.__init__``.  ``bool`` is a subclass of
+    ``int`` in Python, so it is rejected explicitly wherever a number
+    is expected (``"workers": true`` must not mean ``workers=1``).
+    """
+    query = request.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise _BadRequest('"query" must be a non-empty string')
+    engine = request.get("engine", default_engine)
+    if not isinstance(engine, str):
+        raise _BadRequest('"engine" must be a string, got '
+                          f'{type(engine).__name__}')
+    workers = request.get("workers", default_workers)
+    if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise _BadRequest('"workers" must be a non-negative '
+                              f'integer, got {workers!r}')
+        if workers < 0:
+            raise _BadRequest('"workers" must be non-negative, got '
+                              f'{workers}')
+    timeout_s = request.get("timeout_s")
+    if timeout_s is not None:
+        if (isinstance(timeout_s, bool)
+                or not isinstance(timeout_s, (int, float))):
+            raise _BadRequest('"timeout_s" must be a number of '
+                              f'seconds, got {timeout_s!r}')
+        if not math.isfinite(timeout_s) or timeout_s < 0:
+            raise _BadRequest('"timeout_s" must be a finite '
+                              f'non-negative number, got {timeout_s}')
+    max_rows = request.get("max_rows")
+    if max_rows is not None:
+        if isinstance(max_rows, bool) or not isinstance(max_rows, int):
+            raise _BadRequest('"max_rows" must be a non-negative '
+                              f'integer, got {max_rows!r}')
+        if max_rows < 0:
+            raise _BadRequest('"max_rows" must be non-negative, got '
+                              f'{max_rows}')
+    mode = request.get("mode", "sync")
+    if mode not in ("sync", "async"):
+        raise _BadRequest('"mode" must be "sync" or "async", got '
+                          f'{mode!r}')
+    return {"query": query, "engine": engine, "workers": workers,
+            "timeout_s": timeout_s, "max_rows": max_rows,
+            "mode": mode}
 
 
 class QueryServer:
@@ -68,7 +149,10 @@ class QueryServer:
                  max_inflight: int = 8,
                  query_timeout_s: float | None = None,
                  max_rows: int | None = None,
-                 drain_grace_s: float = 10.0) -> None:
+                 drain_grace_s: float = 10.0,
+                 job_workers: int = 2,
+                 job_ttl_s: float = 600.0,
+                 max_queued_jobs: int = 64) -> None:
         self.session = session
         self.default_engine = default_engine
         self.default_workers = default_workers
@@ -78,8 +162,15 @@ class QueryServer:
                                     max_inflight=max_inflight,
                                     query_timeout_s=query_timeout_s,
                                     max_rows=max_rows)
+        self.jobs = JobQueue(self.service, workers=job_workers,
+                             ttl_s=job_ttl_s,
+                             max_queued=max_queued_jobs)
         self.started_at = time()
         self.queries_served = 0
+        # handler threads race on the served counter; the
+        # read-modify-write must be atomic or /healthz drifts from the
+        # per-response sum the smoke reconciles against
+        self._served_lock = threading.Lock()
         self._shutdown_done = False
         server = self
 
@@ -94,6 +185,9 @@ class QueryServer:
 
             def do_POST(self):  # noqa: N802
                 server._post(self)
+
+            def do_DELETE(self):  # noqa: N802
+                server._delete(self)
 
         class _Server(ThreadingHTTPServer):
             # the stdlib default backlog (5) resets simultaneous
@@ -119,9 +213,12 @@ class QueryServer:
     def graceful_shutdown(self, grace_s: float | None = None) -> bool:
         """Drain in-flight queries, log the fact, stop the listener.
 
-        New queries get ``503`` the moment the drain starts; in-flight
-        ones get up to *grace_s* (default: the server's
-        ``drain_grace_s``) to finish.  Safe to call more than once and
+        New queries and jobs get ``503`` the moment the drain starts;
+        queued jobs are cancelled immediately (nobody polls a dead
+        server), while running jobs and in-flight queries get up to
+        *grace_s* (default: the server's ``drain_grace_s``) to finish
+        — running jobs past the grace are cooperatively cancelled at
+        their next round boundary.  Safe to call more than once and
         from any thread except the one inside :meth:`serve_forever`.
         Returns whether the drain completed cleanly.
         """
@@ -129,11 +226,19 @@ class QueryServer:
             return True
         self._shutdown_done = True
         grace = self.drain_grace_s if grace_s is None else grace_s
-        drained = self.service.drain(grace)
+        # jobs first: running jobs occupy admission slots, so landing
+        # them (or cancelling them at a round boundary) is what lets
+        # the service drain observe an empty in-flight set
+        jobs_drained = self.jobs.drain(grace)
+        drained = self.service.drain(grace) and jobs_drained
         if self.session.query_log is not None:
             self.session.query_log.log(
                 event="server_shutdown", drained=drained,
                 queries_served=self.queries_served,
+                jobs_submitted=self.jobs.submitted_total,
+                jobs_finished=self.jobs.finished_total,
+                jobs_cancelled=self.jobs.outcomes[
+                    JobStates.CANCELLED],
                 epoch=self.epochs.current.number,
                 uptime_s=round(time() - self.started_at, 3))
         self.httpd.shutdown()
@@ -235,6 +340,7 @@ class QueryServer:
                 "inflight": self.service.inflight,
                 "admitted_total": self.service.admitted_total,
                 "rejected_total": self.service.rejected_total,
+                "jobs": self._job_counts(),
                 "predicates": sorted(
                     self.session.idb_predicates
                     | set(self.session._edb.relation_names)),
@@ -259,21 +365,121 @@ class QueryServer:
                 "admitted_total": self.service.admitted_total,
                 "rejected_total": self.service.rejected_total,
                 "completed_total": self.service.completed_total,
+                "jobs": self._job_counts(),
             }
             self._send_json(handler, 200, snapshot)
+        elif path == "/jobs":
+            self._send_json(handler, 200, {
+                "jobs": [job.to_dict() for job in self.jobs.jobs()],
+                "queued": self.jobs.queued,
+                "running": self.jobs.running,
+            })
+        elif path.startswith("/jobs/"):
+            self._get_job(handler, path)
         else:
             self._send_json(handler, 404,
                             {"error": f"unknown path {path!r}"})
+
+    def _job_counts(self) -> dict:
+        return {
+            "queued": self.jobs.queued,
+            "running": self.jobs.running,
+            "submitted_total": self.jobs.submitted_total,
+            "finished_total": self.jobs.finished_total,
+            "outcomes": dict(self.jobs.outcomes),
+        }
+
+    def _get_job(self, handler, path: str) -> None:
+        tail = path[len("/jobs/"):]
+        job_id, _, rest = tail.partition("/")
+        if rest not in ("", "result"):
+            self._send_json(handler, 404,
+                            {"error": f"unknown path {path!r}"})
+            return
+        try:
+            job = self.jobs.get(job_id)
+        except UnknownJob as error:
+            self._send_json(handler, 404, {"error": str(error)})
+            return
+        if rest == "":
+            self._send_json(handler, 200, job.to_dict())
+        else:
+            self._send_job_result(handler, job)
+
+    def _send_job_result(self, handler, job) -> None:
+        """``GET /jobs/<id>/result``: the finished answers, or why not.
+
+        An unfinished job is a ``409`` carrying live progress (poll
+        the status URL instead); a finished-without-result job answers
+        with the status its failure mapped to (408 timeout, 409
+        cancelled, stored 400/500 for errors); a ``done`` or
+        ``truncated`` job streams through the same columnar renderer —
+        and the same decode metering — as a synchronous ``/query``.
+        """
+        if not job.finished:
+            self._send_json(handler, 409, {
+                "error": f"job {job.id} is {job.state}; "
+                         "result not ready",
+                "state": job.state,
+                "progress": job.progress(),
+            })
+            return
+        if job.result is None:
+            status = {JobStates.TIMEOUT: 408,
+                      JobStates.CANCELLED: 409}.get(
+                job.state, job.error_status or 500)
+            self._send_json(handler, status, {
+                "error": job.error or job.state,
+                "state": job.state,
+            })
+            return
+        result = job.result
+        answers = result.answers
+        was_lazy = (isinstance(answers, AnswerSet)
+                    and not answers.is_decoded)
+        if isinstance(answers, AnswerSet):
+            rows = answers.sorted_rows()
+        else:
+            rows = sorted(answers, key=repr)
+        if was_lazy and self.session.metrics is not None:
+            observe_decode(self.session.metrics,
+                           answers.decode_seconds, len(answers))
+        self._send_query_response(
+            handler, query=job.query,
+            engine=result.stats.engine or job.engine, rows=rows,
+            duration_s=round(result.duration_s, 6),
+            stats=result.stats.to_dict(),
+            outcome=result.outcome, epoch=result.epoch)
 
     def _post(self, handler) -> None:
         path = handler.path.split("?", 1)[0]
         if path == "/query":
             self._post_query(handler)
+        elif path == "/jobs":
+            self._post_jobs(handler)
         elif path == "/facts":
             self._post_facts(handler)
         else:
             self._send_json(handler, 404,
                             {"error": f"unknown path {path!r}"})
+
+    def _delete(self, handler) -> None:
+        path = handler.path.split("?", 1)[0]
+        job_id = path[len("/jobs/"):]
+        if not path.startswith("/jobs/") or "/" in job_id:
+            self._send_json(handler, 404,
+                            {"error": f"unknown path {path!r}"})
+            return
+        try:
+            job = self.jobs.request_cancel(job_id)
+        except UnknownJob as error:
+            self._send_json(handler, 404, {"error": str(error)})
+            return
+        self._send_json(handler, 200, {
+            "id": job.id,
+            "state": job.state,
+            "cancel_requested": job.cancel.is_set(),
+        })
 
     def _read_body(self, handler) -> dict | None:
         try:
@@ -290,26 +496,32 @@ class QueryServer:
             return None
         return request
 
+    def _validated(self, handler, request: dict) -> dict | None:
+        try:
+            return _validate_query_request(
+                request, default_engine=self.default_engine,
+                default_workers=self.default_workers)
+        except _BadRequest as error:
+            self._send_json(handler, 400, {"error": str(error)})
+            return None
+
     def _post_query(self, handler) -> None:
         request = self._read_body(handler)
         if request is None:
             return
-        if "query" not in request:
-            self._send_json(
-                handler, 400,
-                {"error": 'request must be a JSON object with a '
-                          '"query" key'})
+        params = self._validated(handler, request)
+        if params is None:
             return
-        engine = request.get("engine", self.default_engine)
-        workers = request.get("workers", self.default_workers)
-        timeout_s = request.get("timeout_s")
-        max_rows = request.get("max_rows")
+        if params["mode"] == "async":
+            self._submit_job(handler, params)
+            return
         started = perf_counter()
         try:
-            result = self.service.run(str(request["query"]),
-                                      engine=engine, workers=workers,
-                                      timeout_s=timeout_s,
-                                      max_rows=max_rows)
+            result = self.service.run(params["query"],
+                                      engine=params["engine"],
+                                      workers=params["workers"],
+                                      timeout_s=params["timeout_s"],
+                                      max_rows=params["max_rows"])
         except AdmissionRejected as error:
             self._send_json(
                 handler, 429,
@@ -333,7 +545,8 @@ class QueryServer:
                 handler, 500,
                 {"error": f"{type(error).__name__}: {error}"})
             return
-        self.queries_served += 1
+        with self._served_lock:
+            self.queries_served += 1
         duration_s = round(perf_counter() - started, 6)
         answers = result.answers
         # Rendering is where a lazy answer set is finally forced;
@@ -349,10 +562,42 @@ class QueryServer:
             observe_decode(self.session.metrics,
                            answers.decode_seconds, len(answers))
         self._send_query_response(
-            handler, query=str(request["query"]),
-            engine=result.stats.engine or engine, rows=rows,
+            handler, query=params["query"],
+            engine=result.stats.engine or params["engine"], rows=rows,
             duration_s=duration_s, stats=result.stats.to_dict(),
             outcome=result.outcome, epoch=result.epoch)
+
+    def _post_jobs(self, handler) -> None:
+        request = self._read_body(handler)
+        if request is None:
+            return
+        params = self._validated(handler, request)
+        if params is None:
+            return
+        self._submit_job(handler, params)
+
+    def _submit_job(self, handler, params: dict) -> None:
+        """202 + job id; the epoch is pinned inside ``submit``."""
+        try:
+            job = self.jobs.submit(params["query"],
+                                   engine=params["engine"],
+                                   workers=params["workers"],
+                                   timeout_s=params["timeout_s"],
+                                   max_rows=params["max_rows"])
+        except ServiceDraining as error:
+            self._send_json(handler, 503, {"error": str(error)})
+            return
+        except JobQueueFull as error:
+            self._send_json(handler, 429, {"error": str(error)},
+                            headers={"Retry-After": 1})
+            return
+        self._send_json(handler, 202, {
+            "id": job.id,
+            "state": job.state,
+            "epoch": job.epoch.number,
+            "status_url": f"/jobs/{job.id}",
+            "result_url": f"/jobs/{job.id}/result",
+        })
 
     def _post_facts(self, handler) -> None:
         request = self._read_body(handler)

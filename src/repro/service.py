@@ -212,8 +212,10 @@ class QueryService:
         estimate = self._ewma_duration_s or 1.0
         return max(1, math.ceil(estimate))
 
-    def _admit(self) -> None:
-        deadline = perf_counter() + self.admit_wait_s
+    def _admit(self, wait_s: float | None = None,
+               count_rejection: bool = True) -> None:
+        wait = self.admit_wait_s if wait_s is None else wait_s
+        deadline = perf_counter() + wait
         with self._lock:
             if self._draining:
                 raise ServiceDraining(
@@ -221,11 +223,15 @@ class QueryService:
             while self._inflight >= self.max_inflight:
                 remaining = deadline - perf_counter()
                 if remaining <= 0:
-                    self.rejected_total += 1
-                    if self.metrics is not None:
-                        from .metrics.instrument import (
-                            observe_rejection)
-                        observe_rejection(self.metrics)
+                    # a job worker's slot poll is not a client
+                    # rejection: it raises the same way but leaves the
+                    # 429 telemetry alone (count_rejection=False)
+                    if count_rejection:
+                        self.rejected_total += 1
+                        if self.metrics is not None:
+                            from .metrics.instrument import (
+                                observe_rejection)
+                            observe_rejection(self.metrics)
                     self._export_gauges_locked()
                     raise AdmissionRejected(
                         f"{self._inflight} queries in flight "
@@ -261,7 +267,12 @@ class QueryService:
     def run(self, query: str, *, engine: str = "compiled",
             workers: int | None = None,
             timeout_s: float | None = None,
-            max_rows: int | None = None) -> QueryResult:
+            max_rows: int | None = None,
+            epoch: Epoch | None = None,
+            cancel=None,
+            stats: EvaluationStats | None = None,
+            admit_wait_s: float | None = None,
+            count_rejection: bool = True) -> QueryResult:
         """Admit, pin a snapshot, evaluate under a deadline, release.
 
         Raises :class:`AdmissionRejected` when every slot is busy,
@@ -271,16 +282,34 @@ class QueryService:
         raise: the engines stop the fixpoint at the next round
         boundary and the (sound, partial) answers come back with
         ``outcome == "truncated"``.
+
+        The background job queue (:mod:`repro.jobs`) threads three
+        extras through: *epoch* evaluates against a snapshot pinned
+        earlier (at job-submit time) instead of the current one,
+        *cancel* (an ``is_set()`` flag) rides the deadline so the
+        engines abort with
+        :class:`~repro.engine.deadline.QueryCancelled` at the next
+        round boundary, and *stats* lets the caller keep a live handle
+        on the evaluation's counters (rounds, delta sizes) while it
+        runs — that is how job progress is surfaced mid-flight.
+        *admit_wait_s* overrides the service's ``admit_wait_s`` for
+        this call and *count_rejection=False* keeps an expired wait
+        out of the 429 counters (job workers wait for a slot in
+        slices and retry — their polls are scheduling, not client
+        rejections).
         """
-        self._admit()
+        self._admit(admit_wait_s, count_rejection)
         started = perf_counter()
         try:
-            epoch = self.manager.current
+            if epoch is None:
+                epoch = self.manager.current
             if self.metrics is not None:
                 from .metrics.instrument import observe_snapshot_age
                 observe_snapshot_age(self.metrics, epoch.age_s())
-            stats = EvaluationStats()
-            stats.deadline = self._deadline(timeout_s, max_rows)
+            if stats is None:
+                stats = EvaluationStats()
+            stats.deadline = self._deadline(timeout_s, max_rows,
+                                            cancel)
             answers = epoch.session.query(query, stats=stats,
                                           engine=engine,
                                           workers=workers)
@@ -292,7 +321,8 @@ class QueryService:
             self._release(perf_counter() - started)
 
     def _deadline(self, timeout_s: float | None,
-                  max_rows: int | None) -> Deadline | None:
+                  max_rows: int | None,
+                  cancel=None) -> Deadline | None:
         effective_timeout = (self.query_timeout_s
                              if timeout_s is None else timeout_s)
         effective_rows = self.max_rows if max_rows is None else max_rows
@@ -300,10 +330,11 @@ class QueryService:
         if self.max_rows is not None:
             effective_rows = (self.max_rows if effective_rows is None
                               else min(effective_rows, self.max_rows))
-        if effective_timeout is None and effective_rows is None:
+        if (effective_timeout is None and effective_rows is None
+                and cancel is None):
             return None
         return Deadline(timeout_s=effective_timeout,
-                        max_rows=effective_rows)
+                        max_rows=effective_rows, cancel=cancel)
 
     # -- writes --------------------------------------------------------
 

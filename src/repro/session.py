@@ -486,7 +486,7 @@ class DeductiveDatabase:
         from .logutil import new_query_id
         from .metrics.instrument import (observe_query,
                                          observe_query_error)
-        from .engine.deadline import QueryTimeout
+        from .engine.deadline import QueryCancelled, QueryTimeout
         from .engine.stats import delta_between
 
         local = stats if stats is not None else EvaluationStats()
@@ -499,10 +499,13 @@ class DeductiveDatabase:
         except Exception as error:
             duration = perf_counter() - started
             label = self._class_label(query.predicate)
-            # A deadline expiry is its own outcome in
+            # A deadline expiry (and likewise a cooperative
+            # cancellation) is its own outcome in
             # ``repro_queries_total`` (the admission layer budgets on
             # it), distinct from genuine evaluation errors.
             outcome = ("timeout" if isinstance(error, QueryTimeout)
+                       else "cancelled"
+                       if isinstance(error, QueryCancelled)
                        else "error")
             if self.metrics is not None:
                 observe_query_error(self.metrics, engine=engine,
@@ -515,7 +518,8 @@ class DeductiveDatabase:
                     query=str(query), predicate=query.predicate,
                     engine=engine, formula_class=label,
                     duration_s=round(duration, 6),
-                    outcome=outcome if outcome == "timeout"
+                    outcome=outcome if outcome in ("timeout",
+                                                   "cancelled")
                     else type(error).__name__,
                     error=str(error))
             raise

@@ -1,0 +1,151 @@
+"""Deadline enforcement, parametrized over every engine.
+
+The deadline contract — wall-clock expiry raises
+:class:`~repro.engine.deadline.QueryTimeout`, a row budget stops the
+fixpoint at the next round boundary with ``stats.truncated`` set, and
+a cancel flag raises :class:`~repro.engine.deadline.QueryCancelled` —
+must hold identically for all six evaluation paths: the four session
+engines, the sharded engine in both its deterministic (``workers=0``)
+and pooled (``workers=2``) modes, and incremental maintenance
+(:class:`~repro.engine.incremental.MaterializedRecursion`).
+"""
+
+import threading
+
+import pytest
+
+from repro.datalog.parser import parse_system
+from repro.engine import SemiNaiveEngine
+from repro.engine.deadline import Deadline, QueryCancelled, QueryTimeout
+from repro.engine.incremental import MaterializedRecursion
+from repro.engine.stats import EvaluationStats
+from repro.ra import Database
+from repro.session import DeductiveDatabase
+
+PROGRAM = """
+    P(x, y) :- A(x, z), P(z, y).
+    P(x, y) :- A(x, y).
+    A(a, b). A(b, c). A(c, d). A(d, e).
+"""
+
+CLOSURE = {(a, b)
+           for i, a in enumerate("abcde")
+           for b in "abcde"[i + 1:]}
+
+#: every session-reachable evaluation path: (engine, workers)
+ENGINES = [
+    pytest.param("compiled", None, id="compiled"),
+    pytest.param("semi-naive", None, id="semi-naive"),
+    pytest.param("naive", None, id="naive"),
+    pytest.param("top-down", None, id="top-down"),
+    pytest.param("sharded", 0, id="sharded-workers0"),
+    pytest.param("sharded", 2, id="sharded-workers2"),
+]
+
+
+def make_session():
+    session = DeductiveDatabase()
+    session.load(PROGRAM)
+    return session
+
+
+def budgeted_stats(**kwargs) -> EvaluationStats:
+    stats = EvaluationStats()
+    stats.deadline = Deadline(**kwargs)
+    return stats
+
+
+class TestSessionEngines:
+    @pytest.mark.parametrize("engine, workers", ENGINES)
+    def test_expired_wall_clock_raises(self, engine, workers):
+        stats = budgeted_stats(timeout_s=0.0)
+        with pytest.raises(QueryTimeout):
+            make_session().query("P(X, Y)", stats=stats,
+                                 engine=engine, workers=workers)
+
+    @pytest.mark.parametrize("engine, workers", ENGINES)
+    def test_row_budget_truncates_soundly(self, engine, workers):
+        stats = budgeted_stats(max_rows=1)
+        answers = make_session().query("P(X, Y)", stats=stats,
+                                       engine=engine, workers=workers)
+        assert stats.truncated
+        # a round boundary may overshoot the cap by one delta, but
+        # the partial set must be sound: a strict subset of the
+        # closure, never an invented tuple
+        assert 1 <= len(answers) < len(CLOSURE)
+        assert set(answers) < CLOSURE
+
+    @pytest.mark.parametrize("engine, workers", ENGINES)
+    def test_pre_set_cancel_flag_aborts(self, engine, workers):
+        cancel = threading.Event()
+        cancel.set()
+        stats = budgeted_stats(cancel=cancel)
+        with pytest.raises(QueryCancelled):
+            make_session().query("P(X, Y)", stats=stats,
+                                 engine=engine, workers=workers)
+
+    @pytest.mark.parametrize("engine, workers", ENGINES)
+    def test_unset_cancel_flag_is_free(self, engine, workers):
+        stats = budgeted_stats(cancel=threading.Event())
+        answers = make_session().query("P(X, Y)", stats=stats,
+                                       engine=engine, workers=workers)
+        assert set(answers) == CLOSURE
+        assert not stats.truncated
+
+
+class TestIncremental:
+    """The maintenance engine honours ``stats.deadline`` too."""
+
+    SYSTEM = ("P(x, y) :- A(x, z), P(z, y).\n"
+              "P(x, y) :- A(x, y).")
+    CHAIN = [(f"n{i}", f"n{i + 1}") for i in range(8)]
+
+    def make_view(self) -> MaterializedRecursion:
+        system = parse_system(self.SYSTEM)
+        return MaterializedRecursion(system, Database())
+
+    def test_expired_wall_clock_raises(self):
+        view = self.make_view()
+        view.stats.deadline = Deadline(timeout_s=0.0)
+        with pytest.raises(QueryTimeout):
+            view.insert_many("A", self.CHAIN)
+
+    def test_row_budget_truncates_soundly(self):
+        view = self.make_view()
+        view.stats.deadline = Deadline(max_rows=1)
+        added = view.insert_many("A", self.CHAIN)
+        assert view.stats.truncated
+        # the partial materialisation is sound: everything derived is
+        # in the true closure, but propagation stopped early
+        system = parse_system(self.SYSTEM)
+        scratch = SemiNaiveEngine().evaluate(system, view.database)
+        assert set(added) < set(scratch)
+        assert set(view.rows) < set(scratch)
+
+    def test_pre_set_cancel_flag_aborts(self):
+        view = self.make_view()
+        cancel = threading.Event()
+        cancel.set()
+        view.stats.deadline = Deadline(cancel=cancel)
+        with pytest.raises(QueryCancelled):
+            view.insert_many("A", self.CHAIN)
+
+    def test_unbudgeted_maintenance_completes(self):
+        view = self.make_view()
+        view.insert_many("A", self.CHAIN)
+        system = parse_system(self.SYSTEM)
+        scratch = SemiNaiveEngine().evaluate(system, view.database)
+        assert set(view.rows) == set(scratch)
+        assert not view.stats.truncated
+
+    def test_budgeted_view_recovers_on_reseed(self):
+        view = self.make_view()
+        view.stats.deadline = Deadline(max_rows=1)
+        view.insert_many("A", self.CHAIN)
+        assert view.stats.truncated
+        # rebuilding from the maintained EDB restores completeness
+        rebuilt = MaterializedRecursion(
+            parse_system(self.SYSTEM), view.database)
+        system = parse_system(self.SYSTEM)
+        scratch = SemiNaiveEngine().evaluate(system, view.database)
+        assert set(rebuilt.rows) == set(scratch)
