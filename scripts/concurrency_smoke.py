@@ -11,8 +11,14 @@ End-to-end over a real subprocess and real sockets, in two phases:
    counters in ``GET /metrics`` — ``repro_queries_total`` by outcome,
    ``repro_queries_rejected_total``, ``repro_queries_timed_out_total``,
    the in-flight gauge — reconcile *exactly* with the per-response
-   tallies the clients kept;
-2. **forced contention** — a fresh server with ``--max-inflight 1``;
+   tallies the clients kept.  The server runs with
+   ``--trace-sample 0.5 --trace-buffer 32`` so the flight recorder
+   samples and evicts under real concurrency; its identity
+   ``captured = forced + sampled + slow`` and the ring bound are
+   asserted over the wire;
+2. **forced contention** — a fresh server with ``--max-inflight 1``
+   and a disabled recorder (``--trace-sample 0``), which must stay
+   empty — zero captures, no retained traces;
    four barrier-synchronised clients fire simultaneous free-closure
    queries until at least one is turned away, then the client-side 429
    count must equal ``repro_queries_rejected_total`` exactly and every
@@ -282,11 +288,43 @@ def _phase_mixed_load(base: str) -> int:
         if got != expected:
             print(f"{name}: {got} != {expected}", file=sys.stderr)
             failures += 1
+    # -- flight recorder reconciles exactly under concurrency --------
+    report = _get_json(base, "/debug/traces")
+    identity = (report["forced_total"] + report["sampled_total"]
+                + report["slow_total"])
+    if report["captured_total"] != identity:
+        print(f"recorder identity broken: captured "
+              f"{report['captured_total']} != forced+sampled+slow "
+              f"{identity}", file=sys.stderr)
+        failures += 1
+    if report["captured_total"] == 0:
+        print("sampling at 0.5 captured nothing", file=sys.stderr)
+        failures += 1
+    retained = min(report["captured_total"], 32)
+    if len(report["traces"]) != retained or \
+            report["retained"] != retained:
+        print(f"ring holds {report['retained']} traces, expected "
+              f"{retained} (capacity 32)", file=sys.stderr)
+        failures += 1
+    if report["evicted_total"] != report["captured_total"] - retained:
+        print(f"evicted_total {report['evicted_total']} != captured "
+              f"- retained", file=sys.stderr)
+        failures += 1
+    # capture finalises before the response is written, so with every
+    # client drained the registry counter agrees exactly
+    metered = _series_sum(samples, "repro_traces_captured_total")
+    if metered != report["captured_total"]:
+        print(f"repro_traces_captured_total {metered} != recorder's "
+              f"own count {report['captured_total']}", file=sys.stderr)
+        failures += 1
+
     total = len(responses)
     print(f"phase 1: {total} responses from {THREADS} threads — "
           f"{tally['ok']} ok, {tally['truncated']} truncated, "
           f"{tally[408]} timed out, {tally[429]} rejected; "
-          f"zero 5xx; /metrics reconcile exactly")
+          f"zero 5xx; /metrics reconcile exactly; recorder captured "
+          f"{report['captured_total']} ({report['retained']} "
+          f"retained) with the identity exact")
     return failures
 
 
@@ -336,8 +374,16 @@ def _phase_contention(base: str) -> int:
         print(f"repro_queries_rejected_total: metrics say {metered}, "
               f"clients saw {rejected}", file=sys.stderr)
         failures += 1
+    # this server runs with --trace-sample 0 and no slow threshold:
+    # the recorder must have stayed completely inert
+    report = _get_json(base, "/debug/traces")
+    if report["captured_total"] != 0 or report["traces"]:
+        print(f"disabled recorder captured "
+              f"{report['captured_total']} trace(s)", file=sys.stderr)
+        failures += 1
     print(f"phase 2: forced contention rejected {rejected} "
-          f"request(s), all with Retry-After, reconciled exactly")
+          f"request(s), all with Retry-After, reconciled exactly; "
+          f"disabled recorder stayed empty")
     return failures
 
 
@@ -348,7 +394,8 @@ def main() -> int:
         with open(program, "w", encoding="utf-8") as handle:
             handle.write(_program_text())
 
-        process, base = _boot(program)
+        process, base = _boot(program, "--trace-sample", "0.5",
+                              "--trace-buffer", "32")
         try:
             failures += _phase_mixed_load(base)
         finally:
@@ -357,6 +404,7 @@ def main() -> int:
 
         log_path = os.path.join(workdir, "queries.jsonl")
         process, base = _boot(program, "--max-inflight", "1",
+                              "--trace-sample", "0",
                               log_path=log_path)
         try:
             failures += _phase_contention(base)

@@ -14,7 +14,13 @@ End-to-end over a real subprocess and real sockets:
    per engine, and ``repro_rounds_total``/``repro_probes_total``/
    ``repro_derived_total`` per engine;
 4. assert the structured log emitted exactly one line per query;
-5. send SIGTERM and assert the graceful path: exit code 0 and a
+5. assert the three signals correlate on the query id: every
+   response's ``query_id`` matches its log line, retrieves a full
+   trace from ``GET /debug/traces/<id>`` (the server runs with
+   ``--trace-sample 1.0``), and the latency histogram's exemplars
+   (``--exemplars``) name ids from this session — one id is followed
+   through all four places;
+6. send SIGTERM and assert the graceful path: exit code 0 and a
    final ``server_shutdown`` log line with ``drained: true``.
 
 Exits non-zero on the first violation.
@@ -83,6 +89,12 @@ def _post(base: str, document: dict) -> dict:
         return json.loads(response.read())
 
 
+def _get_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        assert response.status == 200, (path, response.status)
+        return json.loads(response.read())
+
+
 def main() -> int:
     failures = 0
     with tempfile.TemporaryDirectory() as workdir:
@@ -94,7 +106,8 @@ def main() -> int:
         env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
         process = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve", program,
-             "--port", "0", "--log-json", log_path],
+             "--port", "0", "--log-json", log_path,
+             "--trace-sample", "1.0", "--exemplars"],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             text=True, env=env)
         try:
@@ -106,6 +119,7 @@ def main() -> int:
             per_engine: dict[str, dict] = defaultdict(
                 lambda: {"queries": 0, "rounds": 0, "probes": 0,
                          "derived": 0})
+            query_ids: list[str] = []
             for query, engine in SESSION:
                 document = {"query": query}
                 if engine == "sharded":
@@ -118,10 +132,15 @@ def main() -> int:
                     print(f"{query} [{engine}]: wrong answers "
                           f"({len(answers)} rows)", file=sys.stderr)
                     failures += 1
+                query_ids.append(response["query_id"])
                 bucket = per_engine[response["engine"]]
                 bucket["queries"] += 1
                 for field in ("rounds", "probes", "derived"):
                     bucket[field] += response["stats"][field]
+            if len(set(query_ids)) != len(SESSION):
+                print("query_ids missing or not unique",
+                      file=sys.stderr)
+                failures += 1
 
             # -- health -----------------------------------------------
             with urllib.request.urlopen(base + "/healthz",
@@ -134,10 +153,12 @@ def main() -> int:
                 failures += 1
 
             # -- metrics reconcile exactly with per-query stats -------
+            exemplars: dict = {}
             with urllib.request.urlopen(base + "/metrics",
                                         timeout=30) as response:
                 samples = parse_prometheus_text(
-                    response.read().decode("utf-8"))
+                    response.read().decode("utf-8"),
+                    exemplars=exemplars)
 
             def series_sum(name: str, **labels: str) -> float:
                 want = set(labels.items())
@@ -226,6 +247,66 @@ def main() -> int:
                 print("duplicate query_id in log", file=sys.stderr)
                 failures += 1
 
+            # -- the three signals correlate on the query id ----------
+            # each response's id matches its log line (both streams
+            # are in request order — the smoke client is sequential)
+            logged_ids = [line["query_id"] for line in query_lines]
+            if logged_ids != query_ids:
+                print("log query_ids do not match response order",
+                      file=sys.stderr)
+                failures += 1
+            # at --trace-sample 1.0 every id retrieves a full trace
+            report = _get_json(base, "/debug/traces")
+            if not (report["captured_total"] == len(SESSION)
+                    == report["sampled_total"]):
+                print(f"recorder captured {report['captured_total']} "
+                      f"(sampled {report['sampled_total']}), expected "
+                      f"{len(SESSION)} sampled", file=sys.stderr)
+                failures += 1
+            if report["forced_total"] or report["slow_total"]:
+                print("unexpected forced/slow captures",
+                      file=sys.stderr)
+                failures += 1
+            for query_id in query_ids:
+                document = _get_json(base,
+                                     f"/debug/traces/{query_id}")
+                phase_names = [span["name"]
+                               for span in document["phases"]]
+                if "engine" not in phase_names or not document["trace"]:
+                    print(f"trace {query_id} lacks engine phase or "
+                          f"engine trace", file=sys.stderr)
+                    failures += 1
+            # the repeated final query was served by the answer cache
+            # and its trace says so
+            repeat = _get_json(base, f"/debug/traces/{query_ids[-1]}")
+            if not repeat["trace"]["meta"].get("cache_hit"):
+                print("cache-hit repeat trace lacks cache_hit meta",
+                      file=sys.stderr)
+                failures += 1
+            # exemplars on the latency histogram name this session's
+            # ids (last-exemplar-per-bucket, so a subset survives)
+            exemplar_ids = {
+                labels["query_id"]
+                for (name, _), (labels, _) in exemplars.items()
+                if name == "repro_query_duration_seconds_bucket"}
+            if not exemplar_ids:
+                print("no exemplars on the latency histogram",
+                      file=sys.stderr)
+                failures += 1
+            elif not exemplar_ids <= set(query_ids):
+                print("exemplar ids outside this session",
+                      file=sys.stderr)
+                failures += 1
+            else:
+                # follow one id through all four signals explicitly
+                chosen = sorted(exemplar_ids)[0]
+                if not (chosen in logged_ids
+                        and _get_json(base, f"/debug/traces/{chosen}")
+                        ["query_id"] == chosen):
+                    print(f"exemplar id {chosen} does not correlate",
+                          file=sys.stderr)
+                    failures += 1
+
             # -- graceful shutdown on SIGTERM -------------------------
             process.terminate()
             process.wait(timeout=30)
@@ -253,8 +334,9 @@ def main() -> int:
         print(f"serve smoke: {failures} failure(s)", file=sys.stderr)
         return 1
     print(f"serve smoke: {len(SESSION)} queries across "
-          f"{len(per_engine)} engines — answers, /healthz, /metrics "
-          f"and the query log all reconcile")
+          f"{len(per_engine)} engines — answers, /healthz, /metrics, "
+          f"the query log, traces and exemplars all reconcile on "
+          f"the query id")
     return 0
 
 

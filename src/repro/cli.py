@@ -261,7 +261,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          max_rows=args.max_rows,
                          drain_grace_s=args.drain_grace,
                          job_workers=args.job_workers,
-                         job_ttl_s=args.job_ttl)
+                         job_ttl_s=args.job_ttl,
+                         trace_buffer=args.trace_buffer,
+                         trace_sample=args.trace_sample,
+                         slow_query_ms=args.slow_query_ms,
+                         exemplars=args.exemplars)
 
     def _graceful(signum, frame) -> None:
         # serve_forever() runs on this (main) thread and
@@ -397,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve a program over HTTP with metrics "
                       "(POST /query, POST /facts, POST /jobs + "
                       "async polling, GET /metrics, /healthz, "
-                      "/stats)")
+                      "/stats, /debug/traces)")
     p_serve.add_argument("program", help="file with rules and facts")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
@@ -442,6 +446,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="store raw value tuples instead of "
                               "dictionary-encoded int codes "
                               "(ablation; answers are identical)")
+    p_serve.add_argument("--trace-buffer", type=int, default=256,
+                         metavar="N",
+                         help="flight-recorder capacity: completed "
+                              "request traces retained for GET "
+                              "/debug/traces (oldest evicted first)")
+    p_serve.add_argument("--trace-sample", type=float, default=0.01,
+                         metavar="RATE",
+                         help="always-on trace sampling rate in "
+                              "[0, 1]; 0 disables sampling entirely")
+    p_serve.add_argument("--slow-query-ms", type=float, default=None,
+                         metavar="MS",
+                         help="capture any request at least this "
+                              "slow regardless of sampling, and emit "
+                              "a slow_query log event for it")
+    p_serve.add_argument("--exemplars", action="store_true",
+                         help="expose query-id exemplars on "
+                              "repro_query_duration_seconds buckets "
+                              "in /metrics")
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -212,9 +212,19 @@ class Tracer:
     :class:`EvaluationStats` snapshots.  Re-using a tracer for a new
     evaluation resets it (:meth:`begin`); the finished result lives in
     :attr:`trace` after :meth:`finish`.
+
+    A **passive** tracer (``Tracer(passive=True)``) observes without
+    steering: the session facade keeps answer-cache hits and the
+    unseen-constant short-circuit enabled and records them as
+    one-span traces (``meta.cache_hit`` / ``meta.unseen_constant``),
+    so sampled serve-mode requests stay answer- and stats-identical
+    to unsampled ones.  A non-passive tracer (the default, used by
+    ``explain_analyze`` and ``--trace-json``) bypasses those caches
+    to trace a real evaluation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, passive: bool = False) -> None:
+        self.passive = passive
         self.trace: Trace | None = None
         self._reset()
 

@@ -58,6 +58,8 @@ from time import perf_counter, time
 from .datalog.errors import ReproError
 from .engine.deadline import QueryCancelled, QueryTimeout
 from .engine.stats import EvaluationStats
+from .flight import class_of
+from .logutil import new_query_id
 from .service import (AdmissionRejected, QueryResult, QueryService,
                       ServiceDraining)
 
@@ -97,17 +99,24 @@ class Job:
     running).
     """
 
-    __slots__ = ("id", "query", "engine", "workers", "timeout_s",
-                 "max_rows", "epoch", "state", "submitted_at",
-                 "started_at", "finished_at", "stats", "cancel",
-                 "result", "error", "error_status", "_queue_wait_s",
-                 "_run_s")
+    __slots__ = ("id", "query", "query_id", "engine", "workers",
+                 "timeout_s", "max_rows", "epoch", "state",
+                 "submitted_at", "started_at", "finished_at", "stats",
+                 "cancel", "result", "error", "error_status", "trace",
+                 "_queue_wait_s", "_run_s")
 
     def __init__(self, job_id: str, query: str, *, engine: str,
                  workers: int | None, timeout_s: float | None,
-                 max_rows: int | None, epoch) -> None:
+                 max_rows: int | None, epoch,
+                 query_id: str | None = None,
+                 trace: bool = False) -> None:
         self.id = job_id
         self.query = query
+        #: the request-scoped id: propagated from the submitting
+        #: request, stamped on the run's log line, trace and exemplar
+        self.query_id = query_id or new_query_id()
+        #: force flight-recorder capture of the run
+        self.trace = trace
         self.engine = engine
         self.workers = workers
         self.timeout_s = timeout_s
@@ -154,6 +163,7 @@ class Job:
         """The ``GET /jobs/<id>`` status document."""
         document = {
             "id": self.id,
+            "query_id": self.query_id,
             "state": self.state,
             "query": self.query,
             "engine": self.engine,
@@ -199,6 +209,11 @@ class JobQueue:
     max_queued:
         Backlog bound; :meth:`submit` raises :class:`JobQueueFull`
         beyond it.
+    recorder:
+        Optional :class:`~repro.flight.FlightRecorder` shared with
+        the server: each job run opens a request context under the
+        job's query id, so sampled/forced/slow job evaluations land
+        in ``/debug/traces`` exactly like synchronous requests.
     """
 
     #: how long one admission attempt waits for a slot before the
@@ -207,12 +222,13 @@ class JobQueue:
 
     def __init__(self, service: QueryService, *, workers: int = 2,
                  ttl_s: float = 600.0, max_retained: int = 256,
-                 max_queued: int = 64) -> None:
+                 max_queued: int = 64, recorder=None) -> None:
         if workers < 1:
             raise ValueError("job queue needs at least 1 worker")
         if max_retained < 1:
             raise ValueError("max_retained must be at least 1")
         self.service = service
+        self.recorder = recorder
         self.workers = workers
         self.ttl_s = ttl_s
         self.max_retained = max_retained
@@ -246,17 +262,23 @@ class JobQueue:
     def submit(self, query: str, *, engine: str = "compiled",
                workers: int | None = None,
                timeout_s: float | None = None,
-               max_rows: int | None = None) -> Job:
+               max_rows: int | None = None,
+               query_id: str | None = None,
+               trace: bool = False) -> Job:
         """Enqueue a query against the epoch current *right now*.
 
         Returns the queued :class:`Job` immediately; raises
         :class:`~repro.service.ServiceDraining` during shutdown and
         :class:`JobQueueFull` when the backlog is at capacity.
+        *query_id* carries the submitting request's id onto the run
+        (minted fresh when ``None``); *trace=True* forces
+        flight-recorder capture of the run.
         """
         epoch = self.service.manager.current
         job = Job(f"job-{secrets.token_hex(8)}", query, engine=engine,
                   workers=workers, timeout_s=timeout_s,
-                  max_rows=max_rows, epoch=epoch)
+                  max_rows=max_rows, epoch=epoch, query_id=query_id,
+                  trace=trace)
         with self._lock:
             if self._draining:
                 raise ServiceDraining(
@@ -388,6 +410,9 @@ class JobQueue:
     def _run_job(self, job: Job) -> None:
         """One job evaluation: admission, run, outcome bookkeeping."""
         started = perf_counter()
+        ctx = (self.recorder.context(job.query_id, query=job.query,
+                                     force=job.trace)
+               if self.recorder is not None else None)
         try:
             while True:
                 if job.cancel.is_set():
@@ -400,7 +425,7 @@ class JobQueue:
                         max_rows=job.max_rows, epoch=job.epoch,
                         cancel=job.cancel, stats=job.stats,
                         admit_wait_s=self._ADMIT_WAIT_SLICE_S,
-                        count_rejection=False)
+                        count_rejection=False, ctx=ctx)
                     break
                 except AdmissionRejected:
                     # every slot stayed busy for the whole slice;
@@ -408,33 +433,56 @@ class JobQueue:
                     # queued job prefers lateness over failure
                     continue
         except QueryCancelled as error:
+            run_s = perf_counter() - started
+            self._close_ctx(job, ctx, "cancelled", run_s)
             self._finish(job, JobStates.CANCELLED, error=str(error),
-                         run_s=perf_counter() - started)
+                         run_s=run_s)
             return
         except QueryTimeout as error:
+            run_s = perf_counter() - started
+            self._close_ctx(job, ctx, "timeout", run_s)
             self._finish(job, JobStates.TIMEOUT, error=str(error),
-                         error_status=408,
-                         run_s=perf_counter() - started)
+                         error_status=408, run_s=run_s)
             return
         except ServiceDraining as error:
+            run_s = perf_counter() - started
+            self._close_ctx(job, ctx, "cancelled", run_s)
             self._finish(job, JobStates.CANCELLED, error=str(error),
-                         run_s=perf_counter() - started)
+                         run_s=run_s)
             return
         except (ReproError, ValueError) as error:
+            run_s = perf_counter() - started
+            self._close_ctx(job, ctx, "error", run_s)
             self._finish(job, JobStates.ERROR, error=str(error),
-                         error_status=400,
-                         run_s=perf_counter() - started)
+                         error_status=400, run_s=run_s)
             return
         except Exception as error:  # defensive: keep the worker alive
+            run_s = perf_counter() - started
+            self._close_ctx(job, ctx, "error", run_s)
             self._finish(job, JobStates.ERROR,
                          error=f"{type(error).__name__}: {error}",
-                         error_status=500,
-                         run_s=perf_counter() - started)
+                         error_status=500, run_s=run_s)
             return
+        run_s = perf_counter() - started
+        self._close_ctx(job, ctx, result.outcome, run_s, result)
         state = (JobStates.TRUNCATED if result.outcome == "truncated"
                  else JobStates.DONE)
-        self._finish(job, state, result=result,
-                     run_s=perf_counter() - started)
+        self._finish(job, state, result=result, run_s=run_s)
+
+    def _close_ctx(self, job: Job, ctx, outcome: str, run_s: float,
+                   result: QueryResult | None = None) -> None:
+        """Finalize the job run's flight-recorder context (no-op
+        without a recorder)."""
+        if ctx is None:
+            return
+        session = job.epoch.session
+        self.recorder.finalize(
+            ctx, duration_s=run_s, outcome=outcome,
+            engine=job.stats.engine or job.engine,
+            formula_class=class_of(session, job.query),
+            epoch=job.epoch.number,
+            answers=len(result.answers) if result is not None else 0,
+            query_log=session.query_log)
 
     # -- bookkeeping ---------------------------------------------------
 

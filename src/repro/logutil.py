@@ -21,19 +21,31 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import re
 import sys
 import threading
 import time
 from typing import IO
 
-__all__ = ["QueryLogger", "new_query_id", "open_query_log"]
+__all__ = ["QueryLogger", "new_query_id", "open_query_log",
+           "valid_query_id"]
 
 _COUNTER = itertools.count()
+
+# Ids a client may propagate via ``X-Repro-Query-Id``: a conservative
+# charset keeps them safe to echo in headers, JSON, log lines and
+# ``/debug/traces/<id>`` URL paths.
+_QUERY_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 
 def new_query_id() -> str:
     """A short process-unique query id (pid + monotone counter)."""
     return f"q-{os.getpid()}-{next(_COUNTER)}"
+
+
+def valid_query_id(value: object) -> bool:
+    """Whether *value* is acceptable as a client-supplied query id."""
+    return isinstance(value, str) and bool(_QUERY_ID_RE.match(value))
 
 
 class QueryLogger:

@@ -46,6 +46,8 @@ metric                                labels                   kind
 ``repro_jobs_running``                —                        gauge
 ``repro_job_queue_wait_seconds``      —                        histogram
 ``repro_job_run_seconds``             —                        histogram
+``repro_traces_captured_total``       reason                   counter
+``repro_build_info``                  version, python, intern  gauge
 ===================================== ======================== =========
 
 (The sharded engine's pool-health metrics are owned by
@@ -70,8 +72,8 @@ __all__ = ["observe_query", "observe_query_error", "observe_decode",
            "observe_snapshot_age", "set_admission_gauges",
            "observe_job_submitted", "observe_job_finished",
            "set_job_gauges",
-           "export_database_gauges", "LATENCY_BUCKETS",
-           "COUNT_BUCKETS"]
+           "export_database_gauges", "export_build_info",
+           "LATENCY_BUCKETS", "COUNT_BUCKETS"]
 
 #: Query latency buckets: log scale, 100µs → 100s.
 LATENCY_BUCKETS = tuple(round(10.0 ** (e / 2), 10)
@@ -106,7 +108,8 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
                   formula_class: str, duration_s: float, answers: int,
                   stats_delta: dict | None = None,
                   lazy_answers: int = 0,
-                  outcome: str = "ok") -> None:
+                  outcome: str = "ok",
+                  query_id: str | None = None) -> None:
     """Record one successful query: rate, latency, size and the
     engine-level work counters from its stats delta.
 
@@ -121,6 +124,11 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
     :func:`observe_decode`'s ``repro_answers_decoded_total`` it
     reconciles how much decode work the lazy columnar path deferred
     and how much was eventually forced.
+
+    *query_id*, when given, rides along as an exemplar on the
+    duration histogram — the trace↔metric link: a scrape with
+    ``--exemplars`` shows which recorded trace produced the latest
+    observation in each latency bucket.
     """
     registry.counter(
         "repro_queries_total", "Queries answered, by outcome.",
@@ -129,7 +137,9 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
     registry.histogram(
         "repro_query_duration_seconds", "Wall-clock query latency.",
         ("engine", "formula_class"), buckets=LATENCY_BUCKETS,
-    ).observe(duration_s, engine=engine, formula_class=formula_class)
+    ).observe(duration_s,
+              exemplar=({"query_id": query_id} if query_id else None),
+              engine=engine, formula_class=formula_class)
     registry.histogram(
         "repro_query_answers", "Answers per query.",
         ("engine", "formula_class"), buckets=COUNT_BUCKETS,
@@ -360,3 +370,24 @@ def export_database_gauges(registry: MetricsRegistry,
         "repro_plan_cache_size",
         "Compiled join plans in the process-wide cache.",
     ).set(plan_cache_size())
+
+
+def export_build_info(registry: MetricsRegistry, *,
+                      intern: bool = True) -> None:
+    """Publish the ``repro_build_info`` identity gauge (value 1).
+
+    The standard build-info idiom: the interesting facts — package
+    version, python version, intern mode — live in the labels so
+    dashboards and smoke logs can join any series against what is
+    actually running.  Set once at server construction.
+    """
+    import platform
+
+    from .. import __version__
+
+    registry.gauge(
+        "repro_build_info",
+        "Build/runtime identity; value is always 1.",
+        ("version", "python", "intern"),
+    ).set(1, version=__version__, python=platform.python_version(),
+          intern="on" if intern else "off")

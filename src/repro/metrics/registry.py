@@ -231,12 +231,15 @@ class Gauge(_Metric):
 
 
 class _HistogramState:
-    __slots__ = ("counts", "total", "count")
+    __slots__ = ("counts", "total", "count", "exemplars")
 
     def __init__(self, buckets: int) -> None:
         self.counts = [0] * buckets  # per-bucket, non-cumulative
         self.total = 0.0
         self.count = 0
+        #: per-bucket last exemplar: (labels dict, observed value)
+        self.exemplars: list[tuple[dict, float] | None] = \
+            [None] * buckets
 
 
 class Histogram(_Metric):
@@ -245,6 +248,13 @@ class Histogram(_Metric):
     An observation equal to a boundary lands in the bucket whose upper
     bound it equals (the Prometheus ``le`` convention); anything above
     the last bound lands in the implicit ``+Inf`` bucket.
+
+    ``observe(..., exemplar={...})`` attaches an OpenMetrics-style
+    exemplar — the last one per bucket is kept, so storage is O(1)
+    per series.  Exemplars are rendered on ``_bucket`` lines only
+    when the owning registry was built with ``exemplars=True``
+    (``repro serve --exemplars``); recording them is always allowed,
+    so instrumentation sites never need to know the flag.
     """
 
     kind = "histogram"
@@ -268,7 +278,9 @@ class Histogram(_Metric):
     def _new_state(self) -> _HistogramState:
         return _HistogramState(len(self.bounds) + 1)
 
-    def observe(self, value: float, **labels: object) -> None:
+    def observe(self, value: float,
+                exemplar: Mapping[str, object] | None = None,
+                **labels: object) -> None:
         with self._lock:
             state = self._state(labels)
             assert isinstance(state, _HistogramState)
@@ -280,15 +292,34 @@ class Histogram(_Metric):
             state.counts[index] += 1
             state.total += value
             state.count += 1
+            if exemplar:
+                state.exemplars[index] = (
+                    {str(k): str(v) for k, v in exemplar.items()},
+                    value)
+
+    @staticmethod
+    def _exemplar_text(entry: tuple[dict, float] | None) -> str:
+        if entry is None:
+            return ""
+        exemplar_labels, value = entry
+        pairs = ",".join(
+            f'{name}="{_escape_label_value(text)}"'
+            for name, text in sorted(exemplar_labels.items()))
+        return f" # {{{pairs}}} {_format_value(value)}"
 
     def _render_series(self, key, state: _HistogramState) -> list[str]:
         lines = []
         cumulative = 0
-        for bound, count in zip((*self.bounds, math.inf), state.counts):
+        with_exemplars = self._registry.exemplars
+        for index, (bound, count) in enumerate(
+                zip((*self.bounds, math.inf), state.counts)):
             cumulative += count
             extra = f'le="{_format_bound(bound)}"'
+            suffix = (self._exemplar_text(state.exemplars[index])
+                      if with_exemplars else "")
             lines.append(f"{self.name}_bucket"
-                         f"{self._label_text(key, extra)} {cumulative}")
+                         f"{self._label_text(key, extra)} "
+                         f"{cumulative}{suffix}")
         lines.append(f"{self.name}_sum{self._label_text(key)} "
                      f"{_format_value(state.total)}")
         lines.append(f"{self.name}_count{self._label_text(key)} "
@@ -324,10 +355,14 @@ class MetricsRegistry:
     <BLANKLINE>
     """
 
-    def __init__(self, max_label_sets: int = 256) -> None:
+    def __init__(self, max_label_sets: int = 256,
+                 exemplars: bool = False) -> None:
         self._lock = threading.RLock()
         self._metrics: dict[str, _Metric] = {}
         self.max_label_sets = max_label_sets
+        #: render histogram exemplars on ``_bucket`` lines; mutable at
+        #: runtime (``repro serve --exemplars`` flips it on).
+        self.exemplars = exemplars
 
     # -- declaration ---------------------------------------------------
 
@@ -430,12 +465,20 @@ def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
     return tuple(sorted(pairs))
 
 
-def parse_prometheus_text(text: str) -> dict:
+_EXEMPLAR_RE = re.compile(
+    r"^\{(?P<labels>.*)\}\s+(?P<value>\S+)\s*$")
+
+
+def parse_prometheus_text(text: str, exemplars: dict | None = None
+                          ) -> dict:
     """Parse the text exposition format into ``{(name, labels): value}``.
 
     *labels* is a sorted tuple of (name, value) pairs; histogram
     series appear under their ``_bucket``/``_sum``/``_count`` sample
-    names.  Comments and blank lines are skipped.  This is the
+    names.  Comments and blank lines are skipped.  An OpenMetrics
+    exemplar suffix (``… # {query_id="q-1"} 0.004``) is tolerated on
+    any sample line; pass a dict as *exemplars* to collect them as
+    ``{(name, labels): (exemplar labels dict, value)}``.  This is the
     round-trip half of the exposition tests and the assertion tool of
     ``scripts/serve_smoke.py`` — not a full openmetrics parser.
     """
@@ -444,6 +487,7 @@ def parse_prometheus_text(text: str) -> dict:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        line, _, exemplar_text = line.partition(" # ")
         match = _SAMPLE_RE.match(line)
         if match is None:
             raise ValueError(f"unparseable sample line: {line!r}")
@@ -451,5 +495,14 @@ def parse_prometheus_text(text: str) -> dict:
         value = float({"+Inf": "inf", "-Inf": "-inf",
                        "NaN": "nan"}.get(raw, raw))
         labels = _parse_labels(match.group("labels") or "")
-        samples[(match.group("name"), labels)] = value
+        key = (match.group("name"), labels)
+        samples[key] = value
+        if exemplars is not None and exemplar_text:
+            ex_match = _EXEMPLAR_RE.match(exemplar_text.strip())
+            if ex_match is None:
+                raise ValueError(
+                    f"unparseable exemplar: {exemplar_text!r}")
+            exemplars[key] = (
+                dict(_parse_labels(ex_match.group("labels") or "")),
+                float(ex_match.group("value")))
     return samples

@@ -33,10 +33,22 @@ service built entirely on the stdlib:
 * ``DELETE /jobs/<id>`` — cancel: a queued job dies immediately, a
   running one aborts cooperatively at its next round boundary;
 * ``GET /metrics`` — the session registry in Prometheus text
-  exposition format (database gauges refreshed at scrape time);
-* ``GET /healthz`` — liveness (200 + uptime/served/epoch/job
+  exposition format (database gauges refreshed at scrape time;
+  ``--exemplars`` adds query-id exemplars to latency buckets);
+* ``GET /healthz`` — liveness (200 + version/uptime/served/epoch/job
   counters);
-* ``GET /stats`` — the registry's JSON snapshot plus server info.
+* ``GET /stats`` — the registry's JSON snapshot plus server info;
+* ``GET /debug/traces`` / ``GET /debug/traces/<query_id>`` — the
+  flight recorder (:mod:`repro.flight`): recent request traces with
+  service phases, capture counters, and the full engine trace for
+  sampled/forced/slow requests.
+
+Every request carries a **query id** — minted per request, or
+propagated from a valid ``X-Repro-Query-Id`` header — that appears in
+the response envelope and header, the job documents, each JSON log
+line, the recorded trace, and (with ``--exemplars``) the duration
+histogram's exemplars, so the three observability signals join on one
+key.
 
 Request parameters (``engine``, ``workers``, ``timeout_s``,
 ``max_rows``, ``mode``) are validated up front: a malformed value —
@@ -64,10 +76,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter, time
 
+from . import __version__
 from .datalog.errors import ReproError
 from .engine.deadline import QueryTimeout
+from .flight import FlightRecorder, class_of
 from .jobs import JobQueue, JobQueueFull, JobStates, UnknownJob
-from .metrics.instrument import observe_decode
+from .logutil import new_query_id, valid_query_id
+from .metrics.instrument import export_build_info, observe_decode
 from .ra.answers import AnswerSet
 from .service import (AdmissionRejected, EpochManager, QueryService,
                       ServiceDraining)
@@ -127,9 +142,13 @@ def _validate_query_request(request: dict, *, default_engine: str,
     if mode not in ("sync", "async"):
         raise _BadRequest('"mode" must be "sync" or "async", got '
                           f'{mode!r}')
+    trace = request.get("trace", False)
+    if not isinstance(trace, bool):
+        raise _BadRequest('"trace" must be a boolean, got '
+                          f'{trace!r}')
     return {"query": query, "engine": engine, "workers": workers,
             "timeout_s": timeout_s, "max_rows": max_rows,
-            "mode": mode}
+            "mode": mode, "trace": trace}
 
 
 class QueryServer:
@@ -152,7 +171,12 @@ class QueryServer:
                  drain_grace_s: float = 10.0,
                  job_workers: int = 2,
                  job_ttl_s: float = 600.0,
-                 max_queued_jobs: int = 64) -> None:
+                 max_queued_jobs: int = 64,
+                 trace_buffer: int = 256,
+                 trace_sample: float = 0.01,
+                 slow_query_ms: float | None = None,
+                 trace_seed: int | None = None,
+                 exemplars: bool = False) -> None:
         self.session = session
         self.default_engine = default_engine
         self.default_workers = default_workers
@@ -162,9 +186,20 @@ class QueryServer:
                                     max_inflight=max_inflight,
                                     query_timeout_s=query_timeout_s,
                                     max_rows=max_rows)
+        self.recorder = FlightRecorder(trace_buffer,
+                                       sample_rate=trace_sample,
+                                       slow_query_ms=slow_query_ms,
+                                       seed=trace_seed,
+                                       metrics=session.metrics)
         self.jobs = JobQueue(self.service, workers=job_workers,
                              ttl_s=job_ttl_s,
-                             max_queued=max_queued_jobs)
+                             max_queued=max_queued_jobs,
+                             recorder=self.recorder)
+        if session.metrics is not None:
+            if exemplars:
+                session.metrics.exemplars = True
+            export_build_info(session.metrics,
+                              intern=session._edb.interned)
         self.started_at = time()
         self.queries_served = 0
         # handler threads race on the served counter; the
@@ -275,7 +310,9 @@ class QueryServer:
     def _send_query_response(self, handler, *, query: str, engine: str,
                              rows: list, duration_s: float,
                              stats: dict, outcome: str,
-                             epoch: int) -> None:
+                             epoch: int,
+                             query_id: str | None = None,
+                             before_write=None) -> None:
         """Render a ``/query`` response around pre-sorted *rows*.
 
         The envelope round-trips through ``json.dumps``; the
@@ -284,10 +321,18 @@ class QueryServer:
         bounded chunks (one socket write per ~64 KiB) under one
         precomputed ``Content-Length`` — no monolithic join of a
         million-row string, no intermediate list-of-lists.
+
+        *before_write* (when given) runs after the body is fully
+        rendered but before the first socket write: the flight
+        recorder captures there, so by the time a client can read the
+        response its trace is already retrievable — no read-after-
+        response race on ``GET /debug/traces/<id>``.
         """
-        head = json.dumps(
-            {"query": query, "engine": engine, "count": len(rows)},
-            ensure_ascii=False, indent=2)[:-2]
+        envelope = {"query": query, "engine": engine,
+                    "count": len(rows)}
+        if query_id is not None:
+            envelope["query_id"] = query_id
+        head = json.dumps(envelope, ensure_ascii=False, indent=2)[:-2]
         tail = json.dumps(
             {"outcome": outcome, "truncated": outcome == "truncated",
              "epoch": epoch, "duration_s": duration_s, "stats": stats},
@@ -310,11 +355,15 @@ class QueryServer:
         parts.append("\n  ],\n" if rows else "],\n")
         parts.append(tail + "\n")
         chunks = [part.encode("utf-8") for part in parts]
+        if before_write is not None:
+            before_write()
         handler.send_response(200)
         handler.send_header("Content-Type",
                             "application/json; charset=utf-8")
         handler.send_header("Content-Length",
                             str(sum(len(c) for c in chunks)))
+        if query_id is not None:
+            handler.send_header("X-Repro-Query-Id", query_id)
         handler.end_headers()
         write = handler.wfile.write
         buffer = bytearray()
@@ -334,6 +383,7 @@ class QueryServer:
             self._send_json(handler, 200, {
                 "status": ("draining" if self.service.draining
                            else "ok"),
+                "version": __version__,
                 "uptime_s": round(time() - self.started_at, 3),
                 "queries_served": self.queries_served,
                 "epoch": self.epochs.current.number,
@@ -357,6 +407,7 @@ class QueryServer:
                         if self.session.metrics is not None
                         else {"metrics": []})
             snapshot["server"] = {
+                "version": __version__,
                 "uptime_s": round(time() - self.started_at, 3),
                 "queries_served": self.queries_served,
                 "epoch": self.epochs.current.number,
@@ -366,8 +417,20 @@ class QueryServer:
                 "rejected_total": self.service.rejected_total,
                 "completed_total": self.service.completed_total,
                 "jobs": self._job_counts(),
+                "recorder": self.recorder.stats(),
             }
             self._send_json(handler, 200, snapshot)
+        elif path == "/debug/traces":
+            self._send_json(handler, 200, self.recorder.report())
+        elif path.startswith("/debug/traces/"):
+            query_id = path[len("/debug/traces/"):]
+            document = self.recorder.get(query_id)
+            if document is None:
+                self._send_json(handler, 404, {
+                    "error": f"no recorded trace for {query_id!r} "
+                             "(never captured, or evicted)"})
+            else:
+                self._send_json(handler, 200, document)
         elif path == "/jobs":
             self._send_json(handler, 200, {
                 "jobs": [job.to_dict() for job in self.jobs.jobs()],
@@ -449,7 +512,8 @@ class QueryServer:
             engine=result.stats.engine or job.engine, rows=rows,
             duration_s=round(result.duration_s, 6),
             stats=result.stats.to_dict(),
-            outcome=result.outcome, epoch=result.epoch)
+            outcome=result.outcome, epoch=result.epoch,
+            query_id=job.query_id)
 
     def _post(self, handler) -> None:
         path = handler.path.split("?", 1)[0]
@@ -505,6 +569,25 @@ class QueryServer:
             self._send_json(handler, 400, {"error": str(error)})
             return None
 
+    @staticmethod
+    def _request_query_id(handler) -> str:
+        """The request's query id: a valid ``X-Repro-Query-Id``
+        header propagates the caller's id, otherwise one is minted."""
+        supplied = handler.headers.get("X-Repro-Query-Id")
+        if supplied is not None and valid_query_id(supplied):
+            return supplied
+        return new_query_id()
+
+    def _finalize(self, ctx, *, duration_s: float, outcome: str,
+                  engine: str | None = None, epoch: int | None = None,
+                  answers: int = 0) -> None:
+        """Close a request context into the flight recorder."""
+        self.recorder.finalize(
+            ctx, duration_s=duration_s, outcome=outcome, engine=engine,
+            formula_class=class_of(self.session, ctx.query or ""),
+            epoch=epoch, answers=answers,
+            query_log=self.session.query_log)
+
     def _post_query(self, handler) -> None:
         request = self._read_body(handler)
         if request is None:
@@ -512,38 +595,54 @@ class QueryServer:
         params = self._validated(handler, request)
         if params is None:
             return
+        query_id = self._request_query_id(handler)
         if params["mode"] == "async":
-            self._submit_job(handler, params)
+            self._submit_job(handler, params, query_id=query_id)
             return
+        ctx = self.recorder.context(query_id, query=params["query"],
+                                    force=params["trace"])
         started = perf_counter()
         try:
             result = self.service.run(params["query"],
                                       engine=params["engine"],
                                       workers=params["workers"],
                                       timeout_s=params["timeout_s"],
-                                      max_rows=params["max_rows"])
+                                      max_rows=params["max_rows"],
+                                      ctx=ctx)
         except AdmissionRejected as error:
+            # rejected before evaluation: no capture, but the id still
+            # rides the error body so retries can propagate it
             self._send_json(
                 handler, 429,
-                {"error": str(error),
+                {"error": str(error), "query_id": query_id,
                  "retry_after_s": error.retry_after_s},
                 headers={"Retry-After": error.retry_after_s})
             return
         except ServiceDraining as error:
-            self._send_json(handler, 503, {"error": str(error)})
+            self._send_json(handler, 503, {"error": str(error),
+                                           "query_id": query_id})
             return
         except QueryTimeout as error:
+            self._finalize(ctx, duration_s=perf_counter() - started,
+                           outcome="timeout", engine=params["engine"])
             self._send_json(
                 handler, 408,
-                {"error": str(error), "outcome": "timeout"})
+                {"error": str(error), "outcome": "timeout",
+                 "query_id": query_id})
             return
         except (ReproError, ValueError) as error:
-            self._send_json(handler, 400, {"error": str(error)})
+            self._finalize(ctx, duration_s=perf_counter() - started,
+                           outcome="error", engine=params["engine"])
+            self._send_json(handler, 400, {"error": str(error),
+                                           "query_id": query_id})
             return
         except Exception as error:  # defensive: keep serving
+            self._finalize(ctx, duration_s=perf_counter() - started,
+                           outcome="error", engine=params["engine"])
             self._send_json(
                 handler, 500,
-                {"error": f"{type(error).__name__}: {error}"})
+                {"error": f"{type(error).__name__}: {error}",
+                 "query_id": query_id})
             return
         with self._served_lock:
             self.queries_served += 1
@@ -554,18 +653,33 @@ class QueryServer:
         # set records nothing) before streaming the body.
         was_lazy = (isinstance(answers, AnswerSet)
                     and not answers.is_decoded)
-        if isinstance(answers, AnswerSet):
-            rows = answers.sorted_rows()
-        else:
-            rows = sorted(answers, key=repr)
+        with ctx.phase("decode", lazy=was_lazy):
+            if isinstance(answers, AnswerSet):
+                rows = answers.sorted_rows()
+            else:
+                rows = sorted(answers, key=repr)
         if was_lazy and self.session.metrics is not None:
             observe_decode(self.session.metrics,
                            answers.decode_seconds, len(answers))
+        engine_label = result.stats.engine or params["engine"]
+        render_started = perf_counter()
+
+        def _capture() -> None:
+            # runs once the body is rendered, before the first socket
+            # write: the render phase covers serialisation (not the
+            # client-paced writes) and the trace is retrievable the
+            # moment the response is readable
+            ctx.add_phase("render", render_started, rows=len(rows))
+            self._finalize(ctx, duration_s=perf_counter() - started,
+                           outcome=result.outcome, engine=engine_label,
+                           epoch=result.epoch, answers=len(rows))
+
         self._send_query_response(
-            handler, query=params["query"],
-            engine=result.stats.engine or params["engine"], rows=rows,
-            duration_s=duration_s, stats=result.stats.to_dict(),
-            outcome=result.outcome, epoch=result.epoch)
+            handler, query=params["query"], engine=engine_label,
+            rows=rows, duration_s=duration_s,
+            stats=result.stats.to_dict(), outcome=result.outcome,
+            epoch=result.epoch, query_id=query_id,
+            before_write=_capture)
 
     def _post_jobs(self, handler) -> None:
         request = self._read_body(handler)
@@ -574,16 +688,20 @@ class QueryServer:
         params = self._validated(handler, request)
         if params is None:
             return
-        self._submit_job(handler, params)
+        self._submit_job(handler, params,
+                         query_id=self._request_query_id(handler))
 
-    def _submit_job(self, handler, params: dict) -> None:
+    def _submit_job(self, handler, params: dict,
+                    query_id: str | None = None) -> None:
         """202 + job id; the epoch is pinned inside ``submit``."""
         try:
             job = self.jobs.submit(params["query"],
                                    engine=params["engine"],
                                    workers=params["workers"],
                                    timeout_s=params["timeout_s"],
-                                   max_rows=params["max_rows"])
+                                   max_rows=params["max_rows"],
+                                   query_id=query_id,
+                                   trace=params["trace"])
         except ServiceDraining as error:
             self._send_json(handler, 503, {"error": str(error)})
             return
@@ -593,11 +711,12 @@ class QueryServer:
             return
         self._send_json(handler, 202, {
             "id": job.id,
+            "query_id": job.query_id,
             "state": job.state,
             "epoch": job.epoch.number,
             "status_url": f"/jobs/{job.id}",
             "result_url": f"/jobs/{job.id}/result",
-        })
+        }, headers={"X-Repro-Query-Id": job.query_id})
 
     def _post_facts(self, handler) -> None:
         request = self._read_body(handler)
@@ -619,23 +738,36 @@ class QueryServer:
                           'predicates to row arrays and "rules" an '
                           'array of rule strings'})
             return
+        query_id = self._request_query_id(handler)
         started = perf_counter()
         try:
             epoch = self.service.apply_batch(add=add, remove=remove,
                                              rules=rules)
         except (ReproError, ValueError, TypeError) as error:
-            self._send_json(handler, 400, {"error": str(error)})
+            self._send_json(handler, 400, {"error": str(error),
+                                           "query_id": query_id})
             return
         except Exception as error:  # defensive: keep serving
             self._send_json(
                 handler, 500,
-                {"error": f"{type(error).__name__}: {error}"})
+                {"error": f"{type(error).__name__}: {error}",
+                 "query_id": query_id})
             return
+        duration_s = round(perf_counter() - started, 6)
+        added = {p: len(list(rows)) for p, rows in add.items()}
+        removed = {p: len(list(rows)) for p, rows in remove.items()}
+        if self.session.query_log is not None:
+            self.session.query_log.log(
+                event="write_batch", query_id=query_id,
+                epoch=epoch.number,
+                added=sum(added.values()),
+                removed=sum(removed.values()),
+                rules=len(rules), duration_s=duration_s)
         self._send_json(handler, 200, {
+            "query_id": query_id,
             "epoch": epoch.number,
-            "added": {p: len(list(rows)) for p, rows in add.items()},
-            "removed": {p: len(list(rows))
-                        for p, rows in remove.items()},
+            "added": added,
+            "removed": removed,
             "rules": len(rules),
-            "duration_s": round(perf_counter() - started, 6),
-        })
+            "duration_s": duration_s,
+        }, headers={"X-Repro-Query-Id": query_id})

@@ -146,10 +146,12 @@ class EpochManager:
 class QueryResult:
     """What one admitted evaluation produced, with its provenance."""
 
-    __slots__ = ("answers", "stats", "outcome", "epoch", "duration_s")
+    __slots__ = ("answers", "stats", "outcome", "epoch", "duration_s",
+                 "query_id")
 
     def __init__(self, answers, stats: EvaluationStats, outcome: str,
-                 epoch: int, duration_s: float) -> None:
+                 epoch: int, duration_s: float,
+                 query_id: str | None = None) -> None:
         self.answers = answers
         self.stats = stats
         #: ``"ok"`` or ``"truncated"`` (timeouts raise instead)
@@ -157,6 +159,8 @@ class QueryResult:
         #: number of the epoch the query read
         self.epoch = epoch
         self.duration_s = duration_s
+        #: the request-scoped id the evaluation was logged under
+        self.query_id = query_id
 
 
 class QueryService:
@@ -272,7 +276,8 @@ class QueryService:
             cancel=None,
             stats: EvaluationStats | None = None,
             admit_wait_s: float | None = None,
-            count_rejection: bool = True) -> QueryResult:
+            count_rejection: bool = True,
+            ctx=None) -> QueryResult:
         """Admit, pin a snapshot, evaluate under a deadline, release.
 
         Raises :class:`AdmissionRejected` when every slot is busy,
@@ -297,26 +302,48 @@ class QueryService:
         out of the 429 counters (job workers wait for a slot in
         slices and retry — their polls are scheduling, not client
         rejections).
+
+        *ctx* is an optional
+        :class:`~repro.flight.RequestContext`: the service records
+        the ``admission``, ``snapshot`` and ``engine`` phase spans on
+        it, evaluates under its query id (so log lines and metric
+        exemplars correlate with the request) and passes its tracer —
+        if capture was sampled or forced — down to the engine.
         """
+        admit_started = perf_counter()
         self._admit(admit_wait_s, count_rejection)
+        if ctx is not None:
+            ctx.add_phase("admission", admit_started)
         started = perf_counter()
         try:
             if epoch is None:
                 epoch = self.manager.current
+            age_s = epoch.age_s()
             if self.metrics is not None:
                 from .metrics.instrument import observe_snapshot_age
-                observe_snapshot_age(self.metrics, epoch.age_s())
+                observe_snapshot_age(self.metrics, age_s)
+            if ctx is not None:
+                ctx.add_phase("snapshot", started, epoch=epoch.number,
+                              snapshot_age_s=age_s)
             if stats is None:
                 stats = EvaluationStats()
             stats.deadline = self._deadline(timeout_s, max_rows,
                                             cancel)
-            answers = epoch.session.query(query, stats=stats,
-                                          engine=engine,
-                                          workers=workers)
+            engine_started = perf_counter()
+            try:
+                answers = epoch.session.query(
+                    query, stats=stats, engine=engine, workers=workers,
+                    trace=ctx.tracer if ctx is not None else None,
+                    query_id=ctx.query_id if ctx is not None else None)
+            finally:
+                if ctx is not None:
+                    ctx.add_phase("engine", engine_started)
             outcome = "truncated" if stats.truncated else "ok"
             duration_s = perf_counter() - started
             return QueryResult(answers, stats, outcome, epoch.number,
-                               duration_s)
+                               duration_s,
+                               ctx.query_id if ctx is not None
+                               else None)
         finally:
             self._release(perf_counter() - started)
 

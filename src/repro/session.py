@@ -296,7 +296,8 @@ class DeductiveDatabase:
               stats: EvaluationStats | None = None,
               engine: str = "compiled",
               workers: int | None = None,
-              trace: Tracer | None = None) -> frozenset[tuple]:
+              trace: Tracer | None = None,
+              query_id: str | None = None) -> frozenset[tuple]:
         """Answer a query, choosing the evaluation by classification.
 
         EDB predicates are looked up directly; non-recursive views are
@@ -316,6 +317,11 @@ class DeductiveDatabase:
         totals reconcile with per-query stats exactly) and emits one
         structured log line; with neither installed this method is the
         pre-telemetry code path, unchanged.
+
+        *query_id* names the query in the log line and the metrics
+        exemplar; ``repro serve`` passes the request-scoped id so the
+        response envelope, log, trace and metrics all correlate.  When
+        ``None`` a fresh id is minted per instrumented call.
         """
         if isinstance(query, str):
             query = Query.parse(query)
@@ -323,7 +329,7 @@ class DeductiveDatabase:
             return self._evaluate_query(query, stats, engine, workers,
                                         trace)
         return self._instrumented_query(query, stats, engine, workers,
-                                        trace)
+                                        trace, query_id)
 
     def _evaluate_query(self, query: Query,
                         stats: EvaluationStats | None,
@@ -333,11 +339,15 @@ class DeductiveDatabase:
 
         Successful answer sets are memoised on (query pattern, engine,
         workers, database epoch): re-asking an unchanged session the
-        same question is a dict lookup.  Traced runs bypass the cache
-        — the caller asked to watch the evaluation happen — and error
-        paths never populate it.
+        same question is a dict lookup.  *Active* traced runs bypass
+        the cache — the caller asked to watch the evaluation happen —
+        and error paths never populate it.  A **passive** tracer
+        (serve-mode sampling) keeps the cache enabled: a hit records a
+        one-span trace with ``cache_hit=true`` instead of silently
+        disabling capture, so sampled requests stay answer- and
+        stats-identical to unsampled ones.
         """
-        if trace is not None:
+        if trace is not None and not trace.passive:
             return self._evaluate_query_uncached(query, stats, engine,
                                                  workers, trace)
         key = (query.predicate, query.pattern, engine, workers,
@@ -349,10 +359,16 @@ class DeductiveDatabase:
                 stats.answer_cache_hits += 1
                 stats.engine = engine_label
                 stats.answers = len(answers)
+            if trace is not None:
+                trace.begin(engine_label, predicate=query.predicate,
+                            query=query, cache_hit=True)
+                trace.begin_round("cache", 0, stats)
+                trace.end_round(len(answers), stats)
+                trace.finish(len(answers), stats)
             return answers
         local = stats if stats is not None else EvaluationStats()
         answers = self._evaluate_query_uncached(query, local, engine,
-                                                workers, None)
+                                                workers, trace)
         if local.truncated:
             # a row-budget abort returned a sound but *partial* set;
             # caching it would serve incomplete answers to later
@@ -418,19 +434,24 @@ class DeductiveDatabase:
                 trace.finish(len(answers), stats)
             return answers
 
-        if trace is None and self._edb.interned:
+        if (trace is None or trace.passive) and self._edb.interned:
             # A query constant the symbol table has never seen occurs
             # in no fact and no rule (rule constants are interned at
             # add_rule time), so by range restriction it can appear in
             # no answer: skip materialisation and the fixpoint
-            # entirely.  Traced runs take the full path — the caller
-            # asked to watch the evaluation.
+            # entirely.  Actively traced runs take the full path — the
+            # caller asked to watch the evaluation; a passive tracer
+            # (serve-mode sampling) keeps the shortcut and records it.
             lookup = self._edb.symbols.lookup
             if any(value is not None and lookup(value) is None
                    for value in query.pattern):
                 if stats is not None:
                     stats.engine = engine
                     stats.answers = 0
+                if trace is not None:
+                    trace.begin(engine, predicate=predicate,
+                                query=query, unseen_constant=True)
+                    trace.finish(0, stats)
                 return frozenset()
 
         base = self._materialise_below(predicate)
@@ -475,7 +496,9 @@ class DeductiveDatabase:
     def _instrumented_query(self, query: Query,
                             stats: EvaluationStats | None,
                             engine: str, workers: int | None,
-                            trace: Tracer | None) -> frozenset[tuple]:
+                            trace: Tracer | None,
+                            query_id: str | None = None
+                            ) -> frozenset[tuple]:
         """Evaluate with metrics/log recording around the call.
 
         The caller's *stats* object (when given) is used directly, so
@@ -490,7 +513,8 @@ class DeductiveDatabase:
         from .engine.stats import delta_between
 
         local = stats if stats is not None else EvaluationStats()
-        query_id = new_query_id()
+        if query_id is None:
+            query_id = new_query_id()
         before = local.to_dict()
         started = perf_counter()
         try:
@@ -539,7 +563,7 @@ class DeductiveDatabase:
                           formula_class=label, duration_s=duration,
                           answers=len(answers), stats_delta=delta,
                           lazy_answers=len(answers) if lazy else 0,
-                          outcome=outcome)
+                          outcome=outcome, query_id=query_id)
         if self.query_log is not None:
             self.query_log.log(
                 event="query", query_id=query_id, query=str(query),
@@ -548,6 +572,12 @@ class DeductiveDatabase:
                 answers=len(answers), duration_s=round(duration, 6),
                 outcome=outcome)
         return answers
+
+    def class_label(self, predicate: str) -> str:
+        """Public alias of :meth:`_class_label` for the serve layer:
+        trace summaries label each request with the formula class the
+        classifier assigned its predicate."""
+        return self._class_label(predicate)
 
     def _class_label(self, predicate: str) -> str:
         """The ``formula_class`` label value for a predicate:

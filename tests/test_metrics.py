@@ -195,3 +195,47 @@ class TestExpositionRoundTrip:
         text = registry.render_prometheus()
         assert "# HELP c_total What c counts." in text
         assert "# TYPE c_total counter" in text
+
+
+class TestExemplars:
+    def test_exemplars_round_trip_on_bucket_lines(self):
+        """With exemplars enabled the last exemplar per bucket is
+        rendered on its ``_bucket`` line and survives the parser."""
+        registry = MetricsRegistry(exemplars=True)
+        histogram = registry.histogram("latency_seconds", "",
+                                       buckets=(1.0, 10.0))
+        histogram.observe(0.5, exemplar={"query_id": "q-old"})
+        histogram.observe(0.7, exemplar={"query_id": "q-new"})
+        histogram.observe(5.0, exemplar={"query_id": "q-mid"})
+        histogram.observe(50.0)  # no exemplar on the +Inf bucket
+
+        exemplars = {}
+        samples = parse_prometheus_text(registry.render_prometheus(),
+                                        exemplars=exemplars)
+        assert samples[("latency_seconds_bucket",
+                        (("le", "1"),))] == 2
+        key = ("latency_seconds_bucket", (("le", "1"),))
+        assert exemplars[key] == ({"query_id": "q-new"}, 0.7)
+        key = ("latency_seconds_bucket", (("le", "10"),))
+        assert exemplars[key] == ({"query_id": "q-mid"}, 5.0)
+        assert ("latency_seconds_bucket",
+                (("le", "+Inf"),)) not in exemplars
+        assert ("latency_seconds_count", ()) not in exemplars
+
+    def test_exemplars_suppressed_when_flag_off(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "",
+                                       buckets=(1.0,))
+        histogram.observe(0.5, exemplar={"query_id": "q-1"})
+        text = registry.render_prometheus()
+        assert " # " not in text
+        samples = parse_prometheus_text(text)
+        assert samples[("latency_seconds_bucket",
+                        (("le", "1"),))] == 1
+
+    def test_parser_tolerates_exemplars_without_out_dict(self):
+        registry = MetricsRegistry(exemplars=True)
+        registry.histogram("h", "", buckets=(1.0,)).observe(
+            0.5, exemplar={"query_id": "q-1"})
+        samples = parse_prometheus_text(registry.render_prometheus())
+        assert samples[("h_bucket", (("le", "1"),))] == 1

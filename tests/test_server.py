@@ -9,12 +9,15 @@ reconciliation are all observed exactly as a client would.
 import io
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 
 import pytest
 
-from repro.logutil import QueryLogger
+from repro import __version__
+from repro.logutil import QueryLogger, valid_query_id
 from repro.metrics import MetricsRegistry, parse_prometheus_text
 from repro.server import QueryServer
 from repro.session import DeductiveDatabase
@@ -50,16 +53,44 @@ def _get(server, path):
         return response.status, response.read().decode("utf-8")
 
 
-def _post(server, document, path="/query"):
+def _post(server, document, path="/query", headers=None):
+    status, body, _ = _post_full(server, document, path, headers)
+    return status, body
+
+
+def _post_full(server, document, path="/query", headers=None):
+    """POST returning (status, parsed body, response headers)."""
     url = f"http://{server.host}:{server.port}{path}"
+    fields = {"Content-Type": "application/json"}
+    fields.update(headers or {})
     request = urllib.request.Request(
-        url, json.dumps(document).encode("utf-8"),
-        {"Content-Type": "application/json"})
+        url, json.dumps(document).encode("utf-8"), fields)
     try:
         with urllib.request.urlopen(request, timeout=10) as response:
-            return response.status, json.loads(response.read())
+            return (response.status, json.loads(response.read()),
+                    response.headers)
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, json.loads(error.read()), error.headers
+
+
+@contextmanager
+def _served(**kwargs):
+    """A server with explicit recorder settings — the module fixture
+    keeps the defaults, so tests that assert exact capture counters
+    build their own here."""
+    session = DeductiveDatabase(metrics=MetricsRegistry(),
+                                query_log=QueryLogger(io.StringIO()))
+    session.load(PROGRAM)
+    instance = QueryServer(session, port=0, **kwargs)
+    thread = threading.Thread(target=instance.serve_forever,
+                              daemon=True)
+    thread.start()
+    try:
+        yield instance
+    finally:
+        instance.shutdown()
+        instance.close()
+        thread.join(timeout=5)
 
 
 class TestQueryRoute:
@@ -178,3 +209,196 @@ class TestConcurrency:
             assert status == 200
             assert {tuple(r) for r in body["answers"]} == CLOSURE
         assert server.queries_served == 8
+
+
+class TestQueryIds:
+    def test_fresh_id_in_envelope_header_and_log(self, server):
+        status, body, headers = _post_full(server,
+                                           {"query": "P(a, Y)"})
+        assert status == 200
+        query_id = body["query_id"]
+        assert valid_query_id(query_id)
+        assert headers.get("X-Repro-Query-Id") == query_id
+        [line] = [json.loads(line) for line in
+                  server.session.query_log.stream.getvalue()
+                  .splitlines() if '"query"' in line]
+        assert line["query_id"] == query_id
+
+    def test_client_supplied_id_propagates(self, server):
+        status, body, headers = _post_full(
+            server, {"query": "P(a, Y)"},
+            headers={"X-Repro-Query-Id": "client-7.x"})
+        assert status == 200
+        assert body["query_id"] == "client-7.x"
+        assert headers.get("X-Repro-Query-Id") == "client-7.x"
+
+    def test_invalid_client_id_replaced(self, server):
+        status, body, _ = _post_full(
+            server, {"query": "P(a, Y)"},
+            headers={"X-Repro-Query-Id": "not valid!"})
+        assert status == 200
+        assert body["query_id"] != "not valid!"
+        assert valid_query_id(body["query_id"])
+
+    def test_error_responses_carry_the_id_too(self, server):
+        status, body = _post(server, {"query": "missing(X)"},
+                             headers={"X-Repro-Query-Id": "err-1"})
+        assert status == 400
+        assert body["query_id"] == "err-1"
+
+    def test_facts_response_carries_id(self, server):
+        status, body = _post(server,
+                             {"add": {"A": [["d", "e"]]}},
+                             path="/facts",
+                             headers={"X-Repro-Query-Id": "w-1"})
+        assert status == 200
+        assert body["query_id"] == "w-1"
+
+
+class TestFlightRecorder:
+    def test_forced_trace_retrievable_with_service_phases(self):
+        with _served(trace_sample=0.0) as server:
+            _, body = _post(server, {"query": "P(a, Y)",
+                                     "trace": True})
+            query_id = body["query_id"]
+            status, text = _get(server,
+                                f"/debug/traces/{query_id}")
+            assert status == 200
+            document = json.loads(text)
+            assert document["query_id"] == query_id
+            assert document["captured_reason"] == "forced"
+            assert document["outcome"] == "ok"
+            assert document["answers"] == 3
+            names = [span["name"] for span in document["phases"]]
+            assert names == ["admission", "snapshot", "engine",
+                             "decode", "render"]
+            assert document["trace"]["engine"] == "compiled"
+
+    def test_summaries_and_counters_reconcile(self):
+        with _served(trace_sample=0.0) as server:
+            _post(server, {"query": "P(a, Y)", "trace": True})
+            _post(server, {"query": "P(X, Y)"})  # not captured
+            status, text = _get(server, "/debug/traces")
+            report = json.loads(text)
+            assert status == 200
+            assert report["captured_total"] == 1
+            assert report["forced_total"] == 1
+            assert report["sampled_total"] == 0
+            assert report["slow_total"] == 0
+            assert len(report["traces"]) == 1
+
+    def test_sampling_at_rate_one_captures_everything(self):
+        with _served(trace_sample=1.0) as server:
+            for _ in range(3):
+                _post(server, {"query": "P(a, Y)"})
+            report = json.loads(_get(server, "/debug/traces")[1])
+            assert report["captured_total"] == 3
+            assert report["sampled_total"] == 3
+            assert report["captured_total"] == (
+                report["sampled_total"] + report["forced_total"]
+                + report["slow_total"])
+
+    def test_unknown_trace_id_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _get(server, "/debug/traces/nope")
+        assert caught.value.code == 404
+
+    def test_trace_field_must_be_bool(self, server):
+        status, body = _post(server, {"query": "P(a, Y)",
+                                      "trace": "yes"})
+        assert status == 400
+        assert "trace" in body["error"]
+
+    def test_cache_hit_records_single_span_trace(self):
+        with _served(trace_sample=0.0) as server:
+            _post(server, {"query": "P(a, Y)"})  # populate cache
+            _, body = _post(server, {"query": "P(a, Y)",
+                                     "trace": True})
+            document = json.loads(_get(
+                server, f"/debug/traces/{body['query_id']}")[1])
+            trace = document["trace"]
+            assert trace["meta"] == {"cache_hit": True}
+            assert [r["kind"] for r in trace["rounds"]] == ["cache"]
+
+    def test_disabled_recorder_is_inert_and_bit_identical(self):
+        """``--trace-sample 0`` with no slow threshold captures
+        nothing and leaves answers and stats exactly as a fully
+        sampled server produces them."""
+        documents = ({"query": "P(a, Y)"}, {"query": "P(X, Y)"},
+                     {"query": "P(X, Y)", "engine": "semi-naive"})
+        bodies = []
+        for rate in (0.0, 1.0):
+            with _served(trace_sample=rate) as server:
+                bodies.append([])
+                for document in documents:
+                    _, body = _post(server, document)
+                    body.pop("query_id")
+                    body.pop("duration_s")
+                    bodies[-1].append(body)
+                report = json.loads(_get(server,
+                                         "/debug/traces")[1])
+                expected = 0 if rate == 0.0 else len(documents)
+                assert report["captured_total"] == expected
+                if rate == 0.0:
+                    assert report["traces"] == []
+        assert bodies[0] == bodies[1]
+
+    def test_async_job_shares_the_recorder(self):
+        with _served(trace_sample=0.0) as server:
+            status, body, headers = _post_full(
+                server, {"query": "P(X, Y)", "mode": "async",
+                         "trace": True})
+            assert status == 202
+            query_id = body["query_id"]
+            assert headers.get("X-Repro-Query-Id") == query_id
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                job = json.loads(_get(server,
+                                      body["status_url"])[1])
+                if job["state"] in ("done", "error", "cancelled"):
+                    break
+                time.sleep(0.02)
+            assert job["state"] == "done"
+            assert job["query_id"] == query_id
+            document = json.loads(_get(
+                server, f"/debug/traces/{query_id}")[1])
+            assert document["captured_reason"] == "forced"
+            assert [s["name"] for s in document["phases"]] == [
+                "admission", "snapshot", "engine"]
+            assert document["answers"] == len(CLOSURE)
+
+
+class TestBuildInfo:
+    def test_version_in_health_stats_and_metrics(self, server):
+        health = json.loads(_get(server, "/healthz")[1])
+        assert health["version"] == __version__
+        stats = json.loads(_get(server, "/stats")[1])
+        assert stats["server"]["version"] == __version__
+        assert "recorder" in stats["server"]
+        samples = parse_prometheus_text(_get(server, "/metrics")[1])
+        [(labels, value)] = [
+            (labels, value) for (name, labels), value
+            in samples.items() if name == "repro_build_info"]
+        assert value == 1
+        assert ("version", __version__) in labels
+        assert any(key == "python" for key, _ in labels)
+        assert ("intern", "on") in labels
+
+    def test_exemplars_attach_query_ids_when_enabled(self):
+        with _served(trace_sample=0.0, exemplars=True) as server:
+            _post(server, {"query": "P(a, Y)"},
+                  headers={"X-Repro-Query-Id": "exem-1"})
+            exemplars = {}
+            parse_prometheus_text(_get(server, "/metrics")[1],
+                                  exemplars=exemplars)
+            ids = {labels["query_id"]
+                   for (name, _), (labels, _) in exemplars.items()
+                   if name == "repro_query_duration_seconds_bucket"}
+            assert ids == {"exem-1"}
+
+    def test_exemplars_absent_by_default(self, server):
+        _post(server, {"query": "P(a, Y)"})
+        exemplars = {}
+        parse_prometheus_text(_get(server, "/metrics")[1],
+                              exemplars=exemplars)
+        assert exemplars == {}

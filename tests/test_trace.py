@@ -280,3 +280,53 @@ class TestTopDownEngineDirect:
             tc_system, tc_chain_db, Query.parse("P(n0, Y)"),
             trace=tracer)
         assert tracer.trace.delta_total == len(answers)
+
+
+class TestPassiveTracer:
+    """``Tracer(passive=True)`` observes the production path without
+    steering it: the answer cache and the unseen-constant shortcut
+    stay enabled and get recorded instead of bypassed."""
+
+    def test_active_tracer_bypasses_answer_cache(self, ddb):
+        ddb.query("anc(ann, Y)")  # populate the cache
+        tracer = Tracer()
+        ddb.query("anc(ann, Y)", trace=tracer)
+        assert not tracer.trace.meta.get("cache_hit")
+        assert all(span.kind != "cache"
+                   for span in tracer.trace.rounds)
+
+    def test_passive_tracer_records_the_cache_hit(self, ddb):
+        first = ddb.query("anc(ann, Y)")
+        tracer = Tracer(passive=True)
+        again = ddb.query("anc(ann, Y)", trace=tracer)
+        assert again == first
+        assert tracer.trace.meta == {"cache_hit": True}
+        (span,) = tracer.trace.rounds
+        assert span.kind == "cache"
+        assert tracer.trace.answers == 3
+        validate_trace_dict(tracer.trace.to_dict())
+
+    def test_passive_tracer_records_unseen_constant(self):
+        session = DeductiveDatabase(intern=True)
+        session.load(GENEALOGY)
+        tracer = Tracer(passive=True)
+        answers = session.query("anc(zoe, Y)", trace=tracer)
+        assert answers == frozenset()
+        assert tracer.trace.meta == {"unseen_constant": True}
+        assert tracer.trace.rounds == []
+        validate_trace_dict(tracer.trace.to_dict())
+
+    def test_query_id_threads_into_the_log(self):
+        import io
+
+        from repro.logutil import QueryLogger
+        session = DeductiveDatabase(
+            query_log=QueryLogger(io.StringIO()))
+        session.load(GENEALOGY)
+        session.query("anc(ann, Y)", query_id="given-1")
+        session.query("anc(bea, Y)")
+        lines = [json.loads(line) for line in
+                 session.query_log.stream.getvalue().splitlines()]
+        assert lines[0]["query_id"] == "given-1"
+        assert lines[1]["query_id"]  # auto-generated, non-empty
+        assert lines[1]["query_id"] != "given-1"
