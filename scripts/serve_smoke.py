@@ -11,8 +11,12 @@ End-to-end over a real subprocess and real sockets:
 3. assert ``GET /healthz`` is 200, and that the counters in
    ``GET /metrics`` (parsed with the registry's own minimal parser)
    reconcile *exactly* with the per-query stats sums: query counts
-   per engine, and ``repro_rounds_total``/``repro_probes_total``/
-   ``repro_derived_total`` per engine;
+   per engine, ``repro_rounds_total``/``repro_probes_total``/
+   ``repro_derived_total`` per engine, and the vectorised delta-loop
+   counters ``repro_vector_batches_total{backend}`` /
+   ``repro_vector_rows_total`` (non-zero — the session's semi-naive
+   queries certify for the kernel — and equal to the summed
+   per-response stats, under a single agreed backend label);
 4. assert the structured log emitted exactly one line per query;
 5. assert the three signals correlate on the query id: every
    response's ``query_id`` matches its log line, retrieves a full
@@ -120,6 +124,8 @@ def main() -> int:
                 lambda: {"queries": 0, "rounds": 0, "probes": 0,
                          "derived": 0})
             query_ids: list[str] = []
+            vector_sums = {"vector_batches": 0, "vector_rows": 0}
+            vector_backends: set[str] = set()
             for query, engine in SESSION:
                 document = {"query": query}
                 if engine == "sharded":
@@ -137,6 +143,10 @@ def main() -> int:
                 bucket["queries"] += 1
                 for field in ("rounds", "probes", "derived"):
                     bucket[field] += response["stats"][field]
+                for field in vector_sums:
+                    vector_sums[field] += response["stats"][field]
+                if response["stats"]["vector_batches"]:
+                    vector_backends.add(response["stats"]["backend"])
             if len(set(query_ids)) != len(SESSION):
                 print("query_ids missing or not unique",
                       file=sys.stderr)
@@ -230,6 +240,41 @@ def main() -> int:
             if series_sum("repro_decode_seconds_count") != len(unique):
                 print("repro_decode_seconds_count != "
                       f"{len(unique)} unique queries", file=sys.stderr)
+                failures += 1
+
+            # -- vectorised delta-loop counters reconcile exactly -----
+            # the session's semi-naive runs over the interned TC
+            # program certify for the vector kernel (numpy or its
+            # stub, whichever this interpreter has), so the backend
+            # counters must be non-zero AND equal the per-response
+            # stats sums; every contributing response must agree on
+            # one backend name, which must label the batch counter
+            if vector_sums["vector_batches"] <= 0:
+                print("no response reported vector_batches > 0 — the "
+                      "vector kernel never engaged", file=sys.stderr)
+                failures += 1
+            for name, field in (
+                    ("repro_vector_batches_total", "vector_batches"),
+                    ("repro_vector_rows_total", "vector_rows")):
+                if series_sum(name) != vector_sums[field]:
+                    print(f"{name}: metrics say {series_sum(name)}, "
+                          f"stats sum to {vector_sums[field]}",
+                          file=sys.stderr)
+                    failures += 1
+            if len(vector_backends) == 1:
+                backend = next(iter(vector_backends))
+                labelled = series_sum("repro_vector_batches_total",
+                                      backend=backend)
+                if labelled != vector_sums["vector_batches"]:
+                    print(f"repro_vector_batches_total{{backend="
+                          f"{backend}}}: metrics say {labelled}, "
+                          f"stats sum to "
+                          f"{vector_sums['vector_batches']}",
+                          file=sys.stderr)
+                    failures += 1
+            else:
+                print(f"vectorised responses disagree on backend: "
+                      f"{sorted(vector_backends)}", file=sys.stderr)
                 failures += 1
 
             # -- one structured log line per query --------------------

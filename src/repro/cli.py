@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 from typing import Sequence
+
+from . import __version__
 
 from .core.bindings import adornment_from_string
 from .core.classifier import classify
@@ -37,6 +40,7 @@ from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .engine.topdown import TopDownEngine
 from .engine.trace import TRACE_SCHEMA_VERSION, Tracer
+from .engine.vector import BACKENDS, numpy_version
 from .engine.provenance import explain_answer
 from .graphs.render import ascii_figure, ascii_resolution, to_dot
 from .graphs.resolution import resolution_graph
@@ -186,8 +190,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "semi-naive only", file=sys.stderr)
         return 2
     if args.engine == "sharded" or args.workers is not None:
-        engine = ShardedSemiNaiveEngine(workers=args.workers or 0)
+        engine = ShardedSemiNaiveEngine(workers=args.workers or 0,
+                                        backend=args.backend)
+    elif args.engine in ("semi-naive", "compiled"):
+        engine = _ENGINES[args.engine](backend=args.backend)
     else:
+        # naive/top-down have no delta loop; --backend is moot there
         engine = _ENGINES[args.engine]()
     query_log = None
     if args.log_json is not None:
@@ -256,6 +264,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = QueryServer(session, host=args.host, port=args.port,
                          default_engine=args.engine,
                          default_workers=args.workers,
+                         default_backend=args.backend,
                          max_inflight=args.max_inflight,
                          query_timeout_s=args.query_timeout,
                          max_rows=args.max_rows,
@@ -296,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Classification of recursive formulas "
                     "(SIGMOD 1988) — analysis and evaluation tools")
+    numpy_v = numpy_version()
+    vector_info = (f"numpy {numpy_v}" if numpy_v
+                   else "stub (numpy unavailable)")
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {__version__} "
+                f"(python {platform.python_version()}, "
+                f"vector backend: {vector_info})")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
@@ -379,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the fixpoint across N worker "
                             "processes (0 = in-process sharding); "
                             "implies the sharded engine")
+    p_run.add_argument("--backend", choices=BACKENDS, default="auto",
+                       help="delta-loop backend: auto/vector use the "
+                            "vectorised kernel (numpy, or its pure-"
+                            "python stub) for certified plan shapes; "
+                            "python pins the tuple-set loop")
     p_run.add_argument("--trace", action="store_true",
                        help="print an EXPLAIN ANALYZE trace of each "
                             "query to stderr")
@@ -413,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="default worker-pool size for /query "
                               "requests (implies the sharded engine)")
+    p_serve.add_argument("--backend", choices=BACKENDS,
+                         default="auto",
+                         help="default delta-loop backend for /query "
+                              "requests (requests may override per "
+                              "call)")
     p_serve.add_argument("--max-inflight", type=int, default=8,
                          help="concurrent evaluations admitted; "
                               "excess requests get 429 + Retry-After")

@@ -39,6 +39,8 @@ from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats
 from .trace import Tracer
+from .vector import eligible as _vector_eligible
+from .vector import ColumnarTotal, run_delta_loop, validate_backend
 
 
 def _product_rows(pattern: tuple,
@@ -63,12 +65,21 @@ class CompiledEngine:
     ITERATIVE strategy's fixpoint loop (compiled hash-join plans by
     default); the bounded/stable strategies are frontier walks over
     single bindings and keep the tuple-at-a-time solver.
+
+    ``backend`` steers the ITERATIVE fixpoint's delta loop exactly as
+    on :class:`~repro.engine.seminaive.SemiNaiveEngine` — and only
+    when the magic-binding pass proves the recursion *unrestricted*
+    (the relevance filter is the identity): a binding-restricted loop
+    filters every derived row, a shape the vector kernel does not
+    certify.  The bounded/stable strategies always run ``"python"``.
     """
 
     name = "compiled"
 
-    def __init__(self, set_at_a_time: bool = True) -> None:
+    def __init__(self, set_at_a_time: bool = True,
+                 backend: str = "auto") -> None:
         self.set_at_a_time = set_at_a_time
+        self.backend = validate_backend(backend)
 
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query, stats: EvaluationStats | None = None,
@@ -89,6 +100,7 @@ class CompiledEngine:
         else:
             stats.engine = self.name
         stats.truncated = False
+        stats.backend = "python"
         if compiled is None:
             compiled = compile_query(system, query.adornment)
         if trace is not None:
@@ -114,11 +126,20 @@ class CompiledEngine:
         else:
             answers = self._evaluate_iterative(system, edb, enc_query,
                                                stats, trace)
-        answers = enc_query.filter(answers)
+        if isinstance(answers, ColumnarTotal):
+            # the vectorised fixpoint's columnar product: filter by
+            # vector mask, wrap without building row tuples
+            answers = answers.filter(enc_query)
+        else:
+            answers = enc_query.filter(answers)
         stats.answers = len(answers)
         if trace is not None:
+            trace.annotate(backend=stats.backend)
             trace.finish(len(answers), stats)
-        if edb.interned:
+        if isinstance(answers, ColumnarTotal):
+            answers = AnswerSet.from_columns(answers.columns(),
+                                             edb.symbols)
+        elif edb.interned:
             answers = AnswerSet(answers, edb.symbols)
         return answers
 
@@ -348,6 +369,18 @@ class CompiledEngine:
         body_rest = list(rule.nonrecursive_atoms)
         recursive_vars = rule.recursive_atom.args
         head_args = rule.head.args
+        if (unrestricted and self.set_at_a_time
+                and self.backend != "python"
+                and _vector_eligible(edb, recursive_vars)):
+            # the relevance filter is the identity, so this loop is
+            # exactly the semi-naive delta loop — hand it wholesale to
+            # the vector module (which falls back internally, with
+            # identical counters, when the plan shape is uncertified)
+            total = run_delta_loop(edb, body_rest, recursive_vars,
+                                   head_args, total, delta, stats,
+                                   trace, None)
+            return (total if isinstance(total, ColumnarTotal)
+                    else frozenset(total))
         while delta:
             if trace is not None:
                 trace.begin_round("delta", len(delta), stats)

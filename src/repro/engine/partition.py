@@ -22,6 +22,31 @@ from typing import Iterable, Sequence
 from .plan import EntryLayout, JoinPlan
 
 
+def prewarm_plan_tables(database, plan: JoinPlan) -> None:
+    """Build every access path *plan* will probe, ahead of dispatch.
+
+    Called by the sharded engine in the parent process right before
+    the worker pool is created: each step's probe table (the dense
+    list or hash dict :func:`~repro.engine.setjoin.probe_table` would
+    pick), and — when the plan carries a
+    :class:`~repro.engine.plan.FusedTail` certificate — the
+    dense-column view plus its CSR flattening, so worker snapshots
+    start from fully built columnar structures instead of each worker
+    rebuilding them from raw rows.  Idempotent: every structure is
+    version-cached on the database.
+    """
+    from .setjoin import probe_table  # local: avoid an import cycle
+    for step in plan.steps:
+        if step.key_positions:
+            probe_table(database, step.predicate, step.key_positions)
+    spec = plan.fused
+    if spec is not None and database.interned:
+        database.dense_column(spec.predicate, spec.key_position,
+                              spec.position)
+        database.dense_column_csr(spec.predicate, spec.key_position,
+                                  spec.position)
+
+
 def probe_key_positions(plan: JoinPlan,
                         layout: EntryLayout) -> tuple[int, ...]:
     """The delta-row columns feeding *plan*'s first bound probe key.

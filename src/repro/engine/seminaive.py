@@ -17,6 +17,12 @@ Two execution disciplines share the delta loop:
 
 Both produce identical per-round deltas (property-tested), so every
 rank/boundedness measurement is unaffected by the flag.
+
+When the compiled plan certifies the hot linear-recursion shape
+(single fused step, identity entry layout) and ``backend`` allows it,
+the set-at-a-time delta loop is handed wholesale to the vectorised
+kernel (:mod:`repro.engine.vector`) — flat int-vector frontiers over
+CSR adjacency, answers/stats/traces bit-identical to this loop.
 """
 
 from __future__ import annotations
@@ -30,6 +36,9 @@ from .query import Query
 from .setjoin import apply_rule
 from .stats import EvaluationStats
 from .trace import Tracer
+from .vector import ColumnarTotal
+from .vector import eligible as _vector_eligible
+from .vector import run_delta_loop, validate_backend
 
 
 class SemiNaiveEngine:
@@ -41,12 +50,25 @@ class SemiNaiveEngine:
         When True (default), execute rule bodies through the compiled
         set-at-a-time join kernel; when False, fall back to the
         tuple-at-a-time backtracking solver.
+    backend:
+        Delta-loop backend selection: ``"auto"``/``"vector"`` hand
+        certified plan shapes to the vectorised kernel
+        (:mod:`repro.engine.vector` — numpy when importable, the
+        bit-identical pure-python stub otherwise), ``"python"`` pins
+        the tuple-set loop.
     """
 
     name = "semi-naive"
 
-    def __init__(self, set_at_a_time: bool = True) -> None:
+    #: subclasses that override :meth:`_recursive_round` (the sharded
+    #: engine) set this False so the vector delegation — which owns
+    #: the whole loop — can never silently bypass their round hook
+    vector_rounds = True
+
+    def __init__(self, set_at_a_time: bool = True,
+                 backend: str = "auto") -> None:
         self.set_at_a_time = set_at_a_time
+        self.backend = validate_backend(backend)
 
     def evaluate(self, system: RecursionSystem, edb: Database,
                  query: Query | None = None,
@@ -85,6 +107,7 @@ class SemiNaiveEngine:
         else:
             stats.engine = self.name
         stats.truncated = False
+        stats.backend = "python"
         deadline = stats.deadline
         # The fixpoint never writes to the database (derived tuples
         # live in plain sets), so evaluate directly on *edb* — like the
@@ -130,30 +153,49 @@ class SemiNaiveEngine:
                     stats.truncated = True
                     delta = set()  # round boundary: stop cleanly
 
-            rounds = 0
-            while delta:
-                if max_rounds is not None and rounds >= max_rounds:
-                    break
-                rounds += 1
-                if trace is not None:
-                    trace.begin_round("delta", len(delta), stats)
-                new = self._recursive_round(database, body_rest,
-                                            recursive_vars, head_args,
-                                            delta, stats, trace)
-                delta = new - total
-                total |= delta
-                stats.record_round(len(delta))
-                if trace is not None:
-                    trace.end_round(len(delta), stats)
-                if deadline is not None:
-                    deadline.check_time()
-                    if deadline.out_of_rows(len(total)):
-                        stats.truncated = True
+            if (self.set_at_a_time and self.vector_rounds
+                    and self.backend != "python"
+                    and _vector_eligible(database, recursive_vars)):
+                # the vector module owns the whole loop (including the
+                # tuple-set continuation for uncertified plan shapes),
+                # keeping every counter identical to the loop below
+                total = run_delta_loop(database, body_rest,
+                                       recursive_vars, head_args,
+                                       total, delta, stats, trace,
+                                       max_rounds)
+            else:
+                rounds = 0
+                while delta:
+                    if max_rounds is not None and rounds >= max_rounds:
                         break
+                    rounds += 1
+                    if trace is not None:
+                        trace.begin_round("delta", len(delta), stats)
+                    new = self._recursive_round(database, body_rest,
+                                                recursive_vars,
+                                                head_args, delta,
+                                                stats, trace)
+                    delta = new - total
+                    total |= delta
+                    stats.record_round(len(delta))
+                    if trace is not None:
+                        trace.end_round(len(delta), stats)
+                    if deadline is not None:
+                        deadline.check_time()
+                        if deadline.out_of_rows(len(total)):
+                            stats.truncated = True
+                            break
         finally:
             self._end_fixpoint(stats)
 
-        if query is None:
+        if isinstance(total, ColumnarTotal):
+            # the numpy kernel's product stays columnar through the
+            # boundary: constants filter by vector mask, and the rows
+            # materialise lazily inside the AnswerSet (or eagerly for
+            # decode=False callers that feed them back to a database)
+            answers = total.filter(
+                None if query is None else query.encoded(database))
+        elif query is None:
             answers = frozenset(total)
         else:
             # Filter in storage space: the query's constants encode to
@@ -161,8 +203,14 @@ class SemiNaiveEngine:
             answers = query.encoded(database).filter(total)
         stats.answers = len(answers)
         if trace is not None:
+            trace.annotate(backend=stats.backend)
             trace.finish(len(answers), stats)
-        if decode and database.interned:
+        if isinstance(answers, ColumnarTotal):
+            answers = (
+                AnswerSet.from_columns(answers.columns(),
+                                       database.symbols)
+                if decode else answers.rows())
+        elif decode and database.interned:
             answers = AnswerSet(answers, database.symbols)
         return answers
 

@@ -34,10 +34,11 @@ import time
 
 from ..datalog.program import RecursionSystem
 from ..ra.database import Database
-from .partition import partition_rows, probe_key_positions
+from .partition import (partition_rows, prewarm_plan_tables,
+                        probe_key_positions)
 from .plan import compile_plan, entry_layout
 from .seminaive import SemiNaiveEngine
-from .setjoin import apply_rule, probe_table
+from .setjoin import apply_rule
 from .stats import EvaluationStats
 
 #: Per-process worker state, filled in by :func:`_init_worker`.
@@ -159,10 +160,17 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
 
     name = "sharded"
 
+    #: rounds go through :meth:`_recursive_round` (partition/dispatch)
+    #: — the whole-loop vector delegation would bypass sharding, so it
+    #: is disabled here; workers still profit from the pre-warmed CSR
+    #: columns (see :func:`~repro.engine.partition.prewarm_plan_tables`)
+    vector_rounds = False
+
     def __init__(self, workers: int = 0, shards: int | None = None,
                  min_parallel_rows: int = 256,
-                 start_method: str | None = None) -> None:
-        super().__init__(set_at_a_time=True)
+                 start_method: str | None = None,
+                 backend: str = "auto") -> None:
+        super().__init__(set_at_a_time=True, backend=backend)
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = workers
@@ -264,12 +272,10 @@ class ShardedSemiNaiveEngine(SemiNaiveEngine):
             # Warm the plan's probe tables in the parent before the
             # pool forks: children inherit built tables through
             # copy-on-write pages instead of each rebuilding them from
-            # raw rows.  probe_table picks the same access path the
-            # kernel will use (dense list vs dict).
-            for step in plan.steps:
-                if step.key_positions:
-                    probe_table(database, step.predicate,
-                                step.key_positions)
+            # raw rows — including, when the plan's fused tail is
+            # known at dispatch, the dense-column and CSR views the
+            # fused/vector probes read.
+            prewarm_plan_tables(database, plan)
         if deadline is not None:
             # last chance before committing a whole pooled round's
             # worth of work (and after it returns, below)

@@ -17,7 +17,10 @@ from dataclasses import dataclass, field
 #: field addition/removal/meaning change; ``scripts/trace_smoke.py``
 #: reconciles these dumps against the trace schema in CI.
 #: Version 3 added ``truncated`` (row-budget abort flag).
-STATS_SCHEMA_VERSION = 3
+#: Version 4 added ``backend`` (resolved execution backend) plus the
+#: ``vector_batches``/``vector_rows`` counters of the vectorised
+#: delta loop (see :mod:`repro.engine.vector`).
+STATS_SCHEMA_VERSION = 4
 
 #: The monotonically accumulating scalar fields of
 #: :class:`EvaluationStats` — the ones whose snapshot difference is a
@@ -26,7 +29,7 @@ ACCUMULATING_FIELDS = (
     "rounds", "probes", "derived", "plan_cache_hits",
     "plan_cache_misses", "hash_builds", "hash_lookups",
     "pool_round_trip_s", "pool_fallbacks", "sequential_rounds",
-    "answer_cache_hits",
+    "answer_cache_hits", "vector_batches", "vector_rows",
 )
 
 #: The append-only list fields; their snapshot difference is the tail
@@ -39,18 +42,19 @@ def delta_between(before: dict, after: dict) -> dict:
     """The per-query increment between two ``to_dict`` snapshots.
 
     Scalar counters subtract; list counters return the appended tail.
-    Non-accumulating fields (``engine``, ``answers``, ``workers``,
-    ``measured_rank``, ``truncated``) carry *after*'s value — they
-    describe the run, not an increment.  This is how a reused stats
-    object feeds a metrics registry without double counting.
+    Non-accumulating fields (``engine``, ``backend``, ``answers``,
+    ``workers``, ``measured_rank``, ``truncated``) carry *after*'s
+    value — they describe the run, not an increment.  This is how a
+    reused stats object feeds a metrics registry without double
+    counting.
     """
     delta: dict = {}
     for name in ACCUMULATING_FIELDS:
         delta[name] = after[name] - before[name]
     for name in ACCUMULATING_LIST_FIELDS:
         delta[name] = after[name][len(before[name]):]
-    for name in ("engine", "answers", "workers", "measured_rank",
-                 "truncated"):
+    for name in ("engine", "backend", "answers", "workers",
+                 "measured_rank", "truncated"):
         delta[name] = after[name]
     return delta
 
@@ -60,6 +64,11 @@ class EvaluationStats:
     """Mutable counters filled in during one evaluation."""
 
     engine: str = ""
+    #: resolved execution backend of the delta loop — ``"numpy"`` or
+    #: ``"stub"`` when the vectorised kernel ran at least one round,
+    #: ``"python"`` when the tuple-set loop did, ``""`` for engines
+    #: that never consider the vector seam (naive, top-down)
+    backend: str = ""
     rounds: int = 0
     probes: int = 0
     derived: int = 0
@@ -92,6 +101,11 @@ class EvaluationStats:
     #: queries answered from the session's cross-query answer cache
     #: (the evaluation was skipped outright)
     answer_cache_hits: int = 0
+    #: delta rounds executed by the vectorised kernel (one per round)
+    vector_batches: int = 0
+    #: rows emitted by the vectorised probe (before deduplication —
+    #: the vector path's share of ``derived``)
+    vector_rows: int = 0
     #: True when the run stopped at a round boundary because the
     #: deadline's row budget was exceeded — the answers returned are
     #: sound but incomplete (see :mod:`repro.engine.deadline`)
@@ -171,6 +185,8 @@ class EvaluationStats:
         self.pool_fallbacks += other.pool_fallbacks
         self.sequential_rounds += other.sequential_rounds
         self.answer_cache_hits += other.answer_cache_hits
+        self.vector_batches += other.vector_batches
+        self.vector_rows += other.vector_rows
         self.truncated = self.truncated or other.truncated
 
     def to_dict(self) -> dict:
@@ -187,6 +203,7 @@ class EvaluationStats:
         """
         return {
             "engine": self.engine,
+            "backend": self.backend,
             "rounds": self.rounds,
             "probes": self.probes,
             "derived": self.derived,
@@ -205,6 +222,8 @@ class EvaluationStats:
             "pool_fallbacks": self.pool_fallbacks,
             "sequential_rounds": self.sequential_rounds,
             "answer_cache_hits": self.answer_cache_hits,
+            "vector_batches": self.vector_batches,
+            "vector_rows": self.vector_rows,
             "truncated": self.truncated,
         }
 

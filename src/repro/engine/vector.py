@@ -1,0 +1,436 @@
+"""Vectorised semi-naive delta rounds over the columnar seam.
+
+The paper's thesis is that a formula's *class* dictates its cheapest
+evaluation plan; for the linear-recursion classes the compiled plan is
+a single fused probe per round (:class:`~repro.engine.plan.FusedTail`),
+which makes the whole delta loop a dense-integer pipeline: under
+dictionary encoding the frontier is two flat int columns, the stored
+relation is a CSR adjacency (:meth:`Database.dense_column_csr`), and a
+round is gather + concatenate + sorted-unique dedup — no Python tuple
+is built until the single boundary conversion back into the engine's
+answer set.
+
+Two interchangeable kernels implement the round:
+
+* **numpy** (when importable): ``np.repeat``/fancy-indexing gathers
+  over zero-copy ``np.frombuffer`` views of the CSR arrays, packed
+  ``a * N + b`` int64 keys deduplicated with ``np.unique`` +
+  ``np.searchsorted`` against the sorted seen-key vector;
+* **stub** (always available): the same CSR walk in pure Python over
+  ``array('q')`` vectors with a set-based dedup — answers, stats and
+  traces bit-identical to the numpy kernel (property-tested in
+  ``tests/test_vector_properties.py``), speed on par with the
+  row-bucket fused path it replaces.
+
+The loop preserves the counting discipline of the pure-Python path
+*exactly*: per round one plan-cache touch, one ``record_batch``, one
+``hash_lookups`` tick and a ``hash_builds`` delta around the CSR
+fetch, ``probes``/``derived`` equal to the rows the probe emits, and
+the same trace spans and deadline checks at round boundaries.  Plans
+whose shape the certificate rejects (multi-step bodies, non-identity
+entry layouts, raw databases) continue on the tuple-set path inside
+:func:`run_delta_loop` with identical counters, so callers never see
+a seam.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+from ..datalog.errors import EvaluationError
+from ..datalog.terms import Variable
+from ..ra.database import Database
+from .plan import FusedTail, compile_plan, entry_layout
+from .setjoin import apply_rule, execute_plan
+from .stats import EvaluationStats
+from .trace import Tracer
+
+try:  # optional dependency: ``pip install repro[vector]``
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the stub leg
+    _np = None
+
+#: True when the numpy kernel can run in this process.
+HAVE_NUMPY = _np is not None
+
+#: The recognised ``backend=`` values: ``auto`` and ``vector`` prefer
+#: the vectorised kernel with per-shape fallback, ``python`` pins the
+#: tuple-set loop (the ablation/debug escape hatch).
+BACKENDS = ("auto", "vector", "python")
+
+#: Test/bench hook: run the pure-python stub even when numpy imports
+#: (set the ``REPRO_VECTOR_STUB`` environment variable, or call
+#: :func:`force_stub`).  Parity suites flip this to prove the two
+#: kernels bit-identical on one machine.
+_FORCE_STUB = os.environ.get("REPRO_VECTOR_STUB", "") not in ("", "0")
+
+
+def force_stub(enabled: bool) -> None:
+    """Force (or stop forcing) the stub kernel — test/bench hook."""
+    global _FORCE_STUB
+    _FORCE_STUB = bool(enabled)
+
+
+def active_backend() -> str:
+    """The kernel a vector round would run: ``"numpy"`` or ``"stub"``."""
+    return "numpy" if HAVE_NUMPY and not _FORCE_STUB else "stub"
+
+
+def numpy_version() -> str | None:
+    """The importable numpy's version string, None when absent
+    (surfaced by ``repro --version`` and ``repro_build_info``)."""
+    return _np.__version__ if _np is not None else None
+
+
+def validate_backend(backend: str) -> str:
+    """*backend* verbatim, or raise on an unrecognised name."""
+    if backend not in BACKENDS:
+        raise EvaluationError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    return backend
+
+
+def eligible(database: Database, entry_terms) -> bool:
+    """Cheap structural pre-check, no plan compile: could the delta
+    loop for *entry_terms* possibly vectorise on *database*?
+
+    The certificate proper (:class:`~repro.engine.plan.FusedTail` on a
+    single-step plan) is read off the round-1 compile inside
+    :func:`run_delta_loop`; this filter only rules out shapes that can
+    never qualify — raw databases and recursive calls that are not two
+    distinct variables (the identity entry layout every linear
+    recursion has).
+    """
+    if not database.interned:
+        return False
+    if len(entry_terms) != 2:
+        return False
+    first, second = entry_terms
+    return (isinstance(first, Variable) and isinstance(second, Variable)
+            and first != second)
+
+
+# -- round kernels --------------------------------------------------------
+
+
+class ColumnarTotal:
+    """The numpy kernel's fixpoint product: the completed total as
+    per-column flat int64 vectors, *distinct rows by construction*
+    (split out of the sorted packed-key seen-set).
+
+    The engines' answer boundary recognises this shape and keeps it
+    columnar end-to-end: query constants filter by vector mask
+    (:meth:`filter`), ``len`` never builds a row, and ``decode=True``
+    hands the columns straight to
+    :meth:`~repro.ra.answers.AnswerSet.from_columns` — the single
+    boundary conversion the module docstring promises happens lazily,
+    only when someone exercises row semantics.  :meth:`rows` is the
+    eager escape hatch for ``decode=False`` callers that feed storage
+    rows back into a database.
+    """
+
+    __slots__ = ("_vectors",)
+
+    def __init__(self, vectors: tuple) -> None:
+        self._vectors = vectors
+
+    def __len__(self) -> int:
+        return int(self._vectors[0].size) if self._vectors else 0
+
+    def filter(self, query) -> "ColumnarTotal":
+        """The rows matching *query*'s (storage-encoded) constants —
+        one boolean mask per bound position, no row materialised."""
+        if query is None:
+            return self
+        mask = None
+        for position, code in enumerate(query.pattern):
+            if code is None:
+                continue
+            hit = self._vectors[position] == code
+            mask = hit if mask is None else mask & hit
+        if mask is None:
+            return self
+        return ColumnarTotal(tuple(vector[mask]
+                                   for vector in self._vectors))
+
+    def columns(self) -> tuple:
+        """The ``array('q')`` view :meth:`AnswerSet.from_columns`
+        consumes — one buffer copy per column, no per-row objects."""
+        columns = []
+        for vector in self._vectors:
+            column = array("q")
+            column.frombytes(_np.ascontiguousarray(
+                vector, dtype=_np.int64).tobytes())
+            columns.append(column)
+        return tuple(columns)
+
+    def rows(self) -> frozenset[tuple]:
+        """The row-set form, for callers that need storage tuples."""
+        return frozenset(zip(*(vector.tolist()
+                               for vector in self._vectors)))
+
+
+class _NumpyState:
+    """Frontier + seen-set state of the numpy kernel.
+
+    The frontier is a pair of int64 columns; the seen set is one
+    sorted int64 vector of packed ``a * N + b`` keys, where *N* is the
+    symbol-table size at loop entry (codes are dense, so the packing
+    is injective and ``N**2`` fits int64 for any realistic dictionary
+    — :func:`run_delta_loop` checks and falls back otherwise).
+    """
+
+    def __init__(self, total: set, delta: set, n_symbols: int) -> None:
+        self._n = n_symbols
+        self._seen = _np.sort(_np.fromiter(
+            (a * n_symbols + b for a, b in total),
+            dtype=_np.int64, count=len(total)))
+        self._delta_a = _np.fromiter((row[0] for row in delta),
+                                     dtype=_np.int64, count=len(delta))
+        self._delta_b = _np.fromiter((row[1] for row in delta),
+                                     dtype=_np.int64, count=len(delta))
+
+    @property
+    def n_delta(self) -> int:
+        return int(self._delta_a.size)
+
+    @property
+    def total_size(self) -> int:
+        return int(self._seen.size)
+
+    def round(self, spec: FusedTail, csr: tuple) -> tuple[int, int]:
+        """One vectorised round; returns (rows emitted, fresh rows)."""
+        values, offsets = csr
+        vals = _np.frombuffer(values, dtype=_np.int64)
+        offs = _np.frombuffer(offsets, dtype=_np.int64)
+        n_buckets = offs.size - 1
+        columns = (self._delta_a, self._delta_b)
+        probe = columns[spec.slot]
+        carry = columns[spec.keep]
+        # Codes interned after the CSR build are out of range and in
+        # no stored row — mask them to empty buckets (the vector twin
+        # of the row path's IndexError slow lane).
+        valid = probe < n_buckets
+        safe = _np.where(valid, probe, 0)
+        starts = offs[safe]
+        counts = _np.where(valid, offs[safe + 1] - starts, 0)
+        emitted = int(counts.sum())
+        if emitted:
+            # CSR multi-gather: for frontier row i, indices
+            # starts[i] .. starts[i]+counts[i] into the value vector.
+            ends = _np.cumsum(counts)
+            index = (_np.arange(emitted, dtype=_np.int64)
+                     - _np.repeat(ends - counts, counts)
+                     + _np.repeat(starts, counts))
+            new_column = vals[index]
+            carried = _np.repeat(carry, counts)
+            if spec.new_first:
+                packed = new_column * self._n + carried
+            else:
+                packed = carried * self._n + new_column
+            # sorted-unique by hand: np.unique pays an order of
+            # magnitude over the raw sort for the bookkeeping this
+            # loop never uses (inverse/index/count machinery)
+            packed.sort()
+            keep = _np.empty(packed.size, dtype=bool)
+            keep[0] = True
+            _np.not_equal(packed[1:], packed[:-1], out=keep[1:])
+            fresh = packed[keep]
+            if self._seen.size:
+                at = _np.searchsorted(self._seen, fresh)
+                known = _np.zeros(fresh.size, dtype=bool)
+                inside = at < self._seen.size
+                known[inside] = self._seen[at[inside]] == fresh[inside]
+                fresh = fresh[~known]
+            self._seen = _np.sort(_np.concatenate(
+                (self._seen, fresh)))
+        else:
+            fresh = _np.empty(0, dtype=_np.int64)
+        self._delta_a = fresh // self._n
+        self._delta_b = fresh % self._n
+        return emitted, int(fresh.size)
+
+    def finalize(self) -> ColumnarTotal:
+        """The completed total, still columnar: the sorted seen-keys
+        split back into their two code columns.  No row tuple is built
+        here — the answer boundary decides lazily whether anyone needs
+        one (:class:`ColumnarTotal`)."""
+        first, second = _np.divmod(self._seen, self._n)
+        return ColumnarTotal((first, second))
+
+
+class _StubState:
+    """The pure-python twin of :class:`_NumpyState`.
+
+    Walks the same CSR arrays (``array('q')`` slices instead of fancy
+    indexing) and dedups through a set of row pairs; every counter the
+    loop reads off a round is computed identically, so stats and
+    traces cannot diverge between kernels.
+    """
+
+    def __init__(self, total: set, delta: set, n_symbols: int) -> None:
+        self._total = set(total)
+        self._delta: list[tuple] = list(delta)
+
+    @property
+    def n_delta(self) -> int:
+        return len(self._delta)
+
+    @property
+    def total_size(self) -> int:
+        return len(self._total)
+
+    def round(self, spec: FusedTail, csr: tuple) -> tuple[int, int]:
+        values, offsets = csr
+        n_buckets = len(offsets) - 1
+        slot, keep, new_first = spec.slot, spec.keep, spec.new_first
+        out: list[tuple] = []
+        for row in self._delta:
+            code = row[slot]
+            if code >= n_buckets:
+                continue
+            start, end = offsets[code], offsets[code + 1]
+            if end == start:
+                continue
+            kept = row[keep]
+            if new_first:
+                out += [(value, kept) for value in values[start:end]]
+            else:
+                out += [(kept, value) for value in values[start:end]]
+        fresh = set(out) - self._total
+        self._total |= fresh
+        self._delta = list(fresh)
+        return len(out), len(fresh)
+
+    def finalize(self) -> set[tuple]:
+        return self._total
+
+
+# -- the delta loop -------------------------------------------------------
+
+
+def run_delta_loop(database: Database, body, entry_terms, out_terms,
+                   total: set, delta: set, stats: EvaluationStats,
+                   trace: Tracer | None,
+                   max_rounds: int | None) -> set[tuple] | ColumnarTotal:
+    """Run the semi-naive delta loop to fixpoint; the completed total
+    (a plain row set, or — from the numpy kernel — a
+    :class:`ColumnarTotal` the answer boundary consumes column-first).
+
+    Owns the *whole* loop, not just the vector rounds, so plan-cache
+    accounting stays deterministic: round 1 opens its trace span and
+    compiles the plan exactly like the tuple-set loop (one counted
+    miss on a cold cache), and only then reads the certificate off the
+    compiled plan.  A certified shape runs vectorised rounds on the
+    :func:`active_backend` kernel; anything else continues on the
+    tuple-set path *reusing* the already-compiled plan for round 1
+    (no second compile) and ``apply_rule`` — one counted hit per
+    round — thereafter, keeping every counter identical to the
+    original loop.  ``stats.backend`` records what actually ran.
+    """
+    stats.backend = "python"
+    if not delta or (max_rounds is not None and max_rounds <= 0):
+        return total
+    deadline = stats.deadline
+    if trace is not None:
+        trace.begin_round("delta", len(delta), stats)
+    body = tuple(body)
+    entry_terms = tuple(entry_terms)
+    out_terms = tuple(out_terms)
+    plan = compile_plan(body, entry_terms, out_terms, database, stats)
+    layout = entry_layout(entry_terms, database.encode_const
+                          if database.interned else None)
+    n_symbols = len(database.symbols) if database.interned else 0
+    certified = (
+        plan.fused is not None and len(plan.steps) == 1
+        and layout.is_identity and database.interned
+        and 0 < n_symbols <= (2 ** 63 - 1) // max(n_symbols, 1))
+    if not certified:
+        return _python_rounds(database, body, entry_terms, out_terms,
+                              total, delta, stats, trace, max_rounds,
+                              deadline, plan, layout)
+    backend = active_backend()
+    state = (_NumpyState if backend == "numpy" else _StubState)(
+        total, delta, n_symbols)
+    return _vector_rounds(database, body, entry_terms, out_terms,
+                          state, plan.fused, stats, trace, max_rounds,
+                          deadline, backend)
+
+
+def _python_rounds(database, body, entry_terms, out_terms, total,
+                   delta, stats, trace, max_rounds, deadline, plan,
+                   layout) -> set[tuple]:
+    """The tuple-set continuation (round 1's span is already open and
+    its plan already compiled — counters match the classic loop)."""
+    rounds = 0
+    first = True
+    while True:
+        rounds += 1
+        if first:
+            first = False
+            batch = layout.batch(delta)
+            stats.record_batch(len(batch))
+            new = execute_plan(database, plan, batch, stats)
+        else:
+            new = apply_rule(database, body, entry_terms, out_terms,
+                             delta, stats)
+        delta = new - total
+        total |= delta
+        stats.record_round(len(delta))
+        if trace is not None:
+            trace.end_round(len(delta), stats)
+        if deadline is not None:
+            deadline.check_time()
+            if deadline.out_of_rows(len(total)):
+                stats.truncated = True
+                break
+        if not delta:
+            break
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if trace is not None:
+            trace.begin_round("delta", len(delta), stats)
+    return total
+
+
+def _vector_rounds(database, body, entry_terms, out_terms, state,
+                   spec, stats, trace, max_rounds, deadline,
+                   backend) -> set[tuple]:
+    """Certified rounds on a kernel state (round 1's span is open)."""
+    rounds = 0
+    while True:
+        rounds += 1
+        stats.record_batch(state.n_delta)
+        builds_before = database.hash_builds
+        csr = database.dense_column_csr(spec.predicate,
+                                        spec.key_position,
+                                        spec.position)
+        stats.hash_builds += database.hash_builds - builds_before
+        stats.hash_lookups += 1
+        emitted, fresh = state.round(spec, csr)
+        stats.probes += emitted
+        stats.derived += emitted
+        stats.vector_batches += 1
+        stats.vector_rows += emitted
+        stats.record_round(fresh)
+        if trace is not None:
+            trace.end_round(fresh, stats)
+        if deadline is not None:
+            deadline.check_time()
+            if deadline.out_of_rows(state.total_size):
+                stats.truncated = True
+                break
+        if not fresh:
+            break
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if trace is not None:
+            trace.begin_round("delta", state.n_delta, stats)
+        # The classic loop re-enters ``apply_rule`` every round, so
+        # rounds >= 2 are counted plan-cache hits; touch the cache the
+        # same way to keep the counters bit-identical.
+        compile_plan(body, entry_terms, out_terms, database, stats)
+    stats.backend = backend
+    return state.finalize()

@@ -100,7 +100,7 @@ class Job:
     """
 
     __slots__ = ("id", "query", "query_id", "engine", "workers",
-                 "timeout_s", "max_rows", "epoch", "state",
+                 "backend", "timeout_s", "max_rows", "epoch", "state",
                  "submitted_at", "started_at", "finished_at", "stats",
                  "cancel", "result", "error", "error_status", "trace",
                  "_queue_wait_s", "_run_s")
@@ -109,7 +109,8 @@ class Job:
                  workers: int | None, timeout_s: float | None,
                  max_rows: int | None, epoch,
                  query_id: str | None = None,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 backend: str = "auto") -> None:
         self.id = job_id
         self.query = query
         #: the request-scoped id: propagated from the submitting
@@ -119,6 +120,9 @@ class Job:
         self.trace = trace
         self.engine = engine
         self.workers = workers
+        #: delta-loop backend the run pins ("auto" lets the engine
+        #: pick the vectorised kernel for certified shapes)
+        self.backend = backend
         self.timeout_s = timeout_s
         self.max_rows = max_rows
         #: the :class:`~repro.service.Epoch` pinned at submit time —
@@ -176,6 +180,8 @@ class Job:
         }
         if self.workers is not None:
             document["workers"] = self.workers
+        if self.backend != "auto":
+            document["backend"] = self.backend
         if self.timeout_s is not None:
             document["timeout_s"] = self.timeout_s
         if self.max_rows is not None:
@@ -261,6 +267,7 @@ class JobQueue:
 
     def submit(self, query: str, *, engine: str = "compiled",
                workers: int | None = None,
+               backend: str = "auto",
                timeout_s: float | None = None,
                max_rows: int | None = None,
                query_id: str | None = None,
@@ -278,7 +285,7 @@ class JobQueue:
         job = Job(f"job-{secrets.token_hex(8)}", query, engine=engine,
                   workers=workers, timeout_s=timeout_s,
                   max_rows=max_rows, epoch=epoch, query_id=query_id,
-                  trace=trace)
+                  trace=trace, backend=backend)
         with self._lock:
             if self._draining:
                 raise ServiceDraining(
@@ -421,7 +428,8 @@ class JobQueue:
                 try:
                     result = self.service.run(
                         job.query, engine=job.engine,
-                        workers=job.workers, timeout_s=job.timeout_s,
+                        workers=job.workers, backend=job.backend,
+                        timeout_s=job.timeout_s,
                         max_rows=job.max_rows, epoch=job.epoch,
                         cancel=job.cancel, stats=job.stats,
                         admit_wait_s=self._ADMIT_WAIT_SLICE_S,

@@ -23,6 +23,8 @@ metric                                labels                   kind
 ``repro_hash_builds_total``           engine                   counter
 ``repro_hash_lookups_total``          engine                   counter
 ``repro_answer_cache_hits_total``     engine                   counter
+``repro_vector_batches_total``        backend                  counter
+``repro_vector_rows_total``           —                        counter
 ``repro_answers_lazy_total``          —                        counter
 ``repro_answers_decoded_total``       —                        counter
 ``repro_decode_seconds``              —                        histogram
@@ -47,7 +49,8 @@ metric                                labels                   kind
 ``repro_job_queue_wait_seconds``      —                        histogram
 ``repro_job_run_seconds``             —                        histogram
 ``repro_traces_captured_total``       reason                   counter
-``repro_build_info``                  version, python, intern  gauge
+``repro_build_info``                  version, python, intern, gauge
+                                      vector
 ===================================== ======================== =========
 
 (The sharded engine's pool-health metrics are owned by
@@ -155,6 +158,20 @@ def observe_query(registry: MetricsRegistry, *, engine: str,
         amount = stats_delta.get(field, 0)
         registry.counter(name, help_text, ("engine",)).inc(
             amount, engine=engine)
+    batches = stats_delta.get("vector_batches", 0)
+    if batches:
+        registry.counter(
+            "repro_vector_batches_total",
+            "Delta rounds executed by the vectorised batch-join "
+            "kernel, by backend.",
+            ("backend",),
+        ).inc(batches,
+              backend=stats_delta.get("backend") or "unknown")
+        registry.counter(
+            "repro_vector_rows_total",
+            "Rows emitted by vectorised batch probes (before "
+            "dedup against the running total).",
+        ).inc(stats_delta.get("vector_rows", 0))
     if (stats_delta.get("shard_counts") or stats_delta.get("workers")
             or stats_delta.get("pool_fallbacks")
             or stats_delta.get("sequential_rounds")):
@@ -377,17 +394,21 @@ def export_build_info(registry: MetricsRegistry, *,
     """Publish the ``repro_build_info`` identity gauge (value 1).
 
     The standard build-info idiom: the interesting facts — package
-    version, python version, intern mode — live in the labels so
-    dashboards and smoke logs can join any series against what is
-    actually running.  Set once at server construction.
+    version, python version, intern mode, vector backend (the numpy
+    version, or ``stub`` when numpy is unavailable) — live in the
+    labels so dashboards and smoke logs can join any series against
+    what is actually running.  Set once at server construction.
     """
     import platform
 
     from .. import __version__
+    from ..engine.vector import numpy_version
 
+    numpy_v = numpy_version()
     registry.gauge(
         "repro_build_info",
         "Build/runtime identity; value is always 1.",
-        ("version", "python", "intern"),
+        ("version", "python", "intern", "vector"),
     ).set(1, version=__version__, python=platform.python_version(),
-          intern="on" if intern else "off")
+          intern="on" if intern else "off",
+          vector=f"numpy {numpy_v}" if numpy_v else "stub")

@@ -22,6 +22,13 @@ built lazily from the other side of the encoding boundary:
 * ``columns()`` — the same rows transposed into per-column flat code
   sequences (``array('q')``), the hand-off shape for a vectorised
   backend and for per-column decoding;
+
+either side may come first: row-built sets (:meth:`__init__`)
+transpose columns on demand, column-built sets
+(:meth:`AnswerSet.from_columns`, the vectorised backend's boundary)
+materialise the row frozenset on demand — so a fixpoint that ran on
+flat vectors pays for row tuples only when set semantics are actually
+exercised;
 * the decoded side — built on first request by one flat
   :meth:`SymbolTable.decode_column` pass over the row-major codes
   (codes are dense, so the symbol list is itself the per-distinct-code
@@ -86,7 +93,7 @@ class AnswerSet(Set):
 
     def __init__(self, rows: Iterable[tuple],
                  symbols: SymbolTable) -> None:
-        self._rows: frozenset[tuple] = (
+        self._rows: frozenset[tuple] | None = (
             rows if isinstance(rows, frozenset) else frozenset(rows))
         self._symbols = symbols
         self._columns: tuple[array, ...] | None = None
@@ -97,11 +104,38 @@ class AnswerSet(Set):
         #: the server's decode histogram reads this
         self.decode_seconds: float | None = None
 
+    @classmethod
+    def from_columns(cls, columns: tuple[array, ...],
+                     symbols: SymbolTable) -> "AnswerSet":
+        """An answer set handed over column-first — the vectorised
+        backend's boundary shape (:mod:`repro.engine.vector`), where
+        the fixpoint already holds flat code vectors and building row
+        tuples up front would tax enumerations nobody reads.
+
+        *columns* must be per-column ``array('q')`` code sequences of
+        equal length holding *distinct* rows (the kernel's seen-set is
+        deduplicated by construction); the row-set side (`encoded`,
+        membership, set equality) materialises lazily from them, the
+        mirror image of :meth:`columns` materialising from rows.
+        """
+        answers = cls.__new__(cls)
+        answers._rows = None
+        answers._symbols = symbols
+        answers._columns = tuple(columns)
+        answers._list = None
+        answers._decoded = None
+        answers._sorted = None
+        answers.decode_seconds = None
+        return answers
+
     # -- the encoded side (never decodes) ------------------------------
 
     @property
     def encoded(self) -> frozenset[tuple]:
-        """The storage-space rows, exactly as the engine emitted them."""
+        """The storage-space rows, exactly as the engine emitted them
+        (transposed lazily out of a column-first construction)."""
+        if self._rows is None:
+            self._rows = frozenset(zip(*self._columns))
         return self._rows
 
     @property
@@ -112,6 +146,8 @@ class AnswerSet(Set):
     @property
     def arity(self) -> int:
         """Row width (0 for an empty or nullary result)."""
+        if self._rows is None:
+            return len(self._columns)
         for row in self._rows:
             return len(row)
         return 0
@@ -136,6 +172,8 @@ class AnswerSet(Set):
         return self._columns
 
     def __len__(self) -> int:
+        if self._rows is None:
+            return len(self._columns[0]) if self._columns else 0
         return len(self._rows)
 
     def __contains__(self, row) -> bool:
@@ -151,7 +189,7 @@ class AnswerSet(Set):
             if code is None:
                 return False
             codes.append(code)
-        return tuple(codes) in self._rows
+        return tuple(codes) in self.encoded
 
     # -- the decoded side (lazy, cached) -------------------------------
 
@@ -165,7 +203,13 @@ class AnswerSet(Set):
             arity = self.arity
             if arity == 0:
                 # empty result, or nullary rows — nothing to decode
-                self._list = list(self._rows)
+                self._list = list(self._rows or ())
+            elif self._rows is None:
+                # column-first construction: decode each flat column
+                # in place and zip back — no row transpose needed
+                self._list = list(zip(
+                    *(self._symbols.decode_column(column)
+                      for column in self._columns)))
             else:
                 flat = self._symbols.decode_column(
                     chain.from_iterable(self._rows))
@@ -206,7 +250,7 @@ class AnswerSet(Set):
         if isinstance(other, AnswerSet):
             if self._symbols is other._symbols:
                 # same code space: compare without decoding either side
-                return self._rows == other._rows
+                return self.encoded == other.encoded
             return self.decoded() == other.decoded()
         if isinstance(other, Set):
             return self.decoded() == other
@@ -225,5 +269,5 @@ class AnswerSet(Set):
 
     def __repr__(self) -> str:
         state = "decoded" if self.is_decoded else "lazy"
-        return (f"AnswerSet({len(self._rows)} rows × {self.arity} "
+        return (f"AnswerSet({len(self)} rows × {self.arity} "
                 f"columns, {state})")

@@ -48,6 +48,7 @@ table, so a code-space mix-up fails loudly).
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Mapping
 
 from ..datalog.atoms import Atom
@@ -98,6 +99,11 @@ class Database:
         #: they do not move ``hash_builds``
         self._dense_columns: dict[tuple[str, int, int],
                                   tuple[int, list]] = {}
+        #: CSR flattening of dense columns for the vectorised kernel,
+        #: keyed like ``_dense_columns`` → (version, (values, offsets))
+        #: flat ``array('q')`` pairs; derived views, no ``hash_builds``
+        self._csr_columns: dict[tuple[str, int, int],
+                                tuple[int, tuple]] = {}
         #: the constant dictionary; None runs the raw value-tuple path
         self._symbols: SymbolTable | None = (SymbolTable() if intern
                                              else None)
@@ -280,6 +286,7 @@ class Database:
         db._hash_tables = dict(self._hash_tables)
         db._dense_tables = dict(self._dense_tables)
         db._dense_columns = dict(self._dense_columns)
+        db._csr_columns = dict(self._csr_columns)
         return db
 
     # -- mutation -------------------------------------------------------
@@ -524,11 +531,16 @@ class Database:
         """The rows of *name* grouped by the code at *position*, as a
         plain list indexed by that code — the array-structured access
         path dense interning makes possible.  ``table[code]`` is the
-        row list; codes carried by no stored row share one empty
+        row bucket; codes carried by no stored row share one empty
         tuple, so a probing kernel can iterate every bucket without a
         miss branch.  An out-of-range code means "no rows" (new codes
         can be interned after the build; they cannot appear in any
         stored row of this version).
+
+        Every bucket — empty or populated — is a *tuple*: one uniform
+        immutable type, so downstream consumers (the fused probe, the
+        CSR flattener) never special-case on bucket type and can never
+        scribble on a cached view.
 
         Returns None when the database is not interned (callers fall
         back to :meth:`hash_table`).  Cached and invalidated exactly
@@ -549,6 +561,9 @@ class Database:
                 bucket.append(row)
             else:
                 table[code] = [row]
+        for code, bucket in enumerate(table):
+            if bucket:
+                table[code] = tuple(bucket)  # freeze: uniform buckets
         self._dense_tables[cache_key] = (version, table)
         self.hash_builds += 1
         return table
@@ -563,11 +578,12 @@ class Database:
         (:mod:`repro.engine.setjoin`): when the join's last step binds
         exactly one output column, probing this view hands that column
         back directly — no per-emitted-row ``row[position]`` indexing,
-        no intermediate full-row tuples.  The view is derived from the
-        (already cached, already counted) dense table, so
-        ``hash_builds`` accounting is identical whether a fixpoint
-        probes row buckets or column buckets.  Returns None when not
-        interned.
+        no intermediate full-row tuples.  Buckets are uniformly tuples
+        (empty buckets share one ``()``), mirroring
+        :meth:`dense_table`.  The view is derived from the (already
+        cached, already counted) dense table, so ``hash_builds``
+        accounting is identical whether a fixpoint probes row buckets
+        or column buckets.  Returns None when not interned.
         """
         if self._symbols is None:
             return None
@@ -582,9 +598,48 @@ class Database:
         view = [()] * len(dense)
         for code, bucket in enumerate(dense):
             if bucket:
-                view[code] = [row[value_position] for row in bucket]
+                view[code] = tuple(row[value_position]
+                                   for row in bucket)
         self._dense_columns[cache_key] = (version, view)
         return view
+
+    def dense_column_csr(self, name: str, key_position: int,
+                         value_position: int) -> tuple | None:
+        """The CSR flattening of :meth:`dense_column`: a
+        ``(values, offsets)`` pair of flat ``array('q')`` int vectors
+        where bucket *code* is ``values[offsets[code]:offsets[code+1]]``
+        (``len(offsets)`` is bucket count + 1).
+
+        This is the zero-object access path of the vectorised kernel
+        (:mod:`repro.engine.vector`): both arrays expose the buffer
+        protocol, so a numpy backend wraps them without copying and a
+        pure-python backend slices them without building per-bucket
+        tuples.  An out-of-range code means "no rows", exactly as for
+        the list views.  Derived from the already-counted dense-column
+        view — fetching it never moves ``hash_builds`` beyond what the
+        row path pays.  Returns None when not interned.
+        """
+        if self._symbols is None:
+            return None
+        cache_key = (name, key_position, value_position)
+        version = self._versions.get(name, 0)
+        entry = self._csr_columns.get(cache_key)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        view = self.dense_column(name, key_position, value_position)
+        if view is None:
+            return None
+        values = array("q")
+        offsets = array("q", [0])
+        total = 0
+        for bucket in view:
+            if bucket:
+                values.extend(bucket)
+                total += len(bucket)
+            offsets.append(total)
+        csr = (values, offsets)
+        self._csr_columns[cache_key] = (version, csr)
+        return csr
 
     def match(self, name: str, pattern: Pattern) -> Iterator[tuple]:
         """All value rows matching *pattern* (None entries match any).

@@ -50,8 +50,8 @@ line, the recorded trace, and (with ``--exemplars``) the duration
 histogram's exemplars, so the three observability signals join on one
 key.
 
-Request parameters (``engine``, ``workers``, ``timeout_s``,
-``max_rows``, ``mode``) are validated up front: a malformed value —
+Request parameters (``engine``, ``workers``, ``backend``,
+``timeout_s``, ``max_rows``, ``mode``) are validated up front: a malformed value —
 ``"timeout_s": "5"``, a negative row cap, an unknown mode — is a
 ``400`` with a field-specific error body, never a ``500`` out of the
 engine internals.
@@ -79,6 +79,7 @@ from time import perf_counter, time
 from . import __version__
 from .datalog.errors import ReproError
 from .engine.deadline import QueryTimeout
+from .engine.vector import BACKENDS
 from .flight import FlightRecorder, class_of
 from .jobs import JobQueue, JobQueueFull, JobStates, UnknownJob
 from .logutil import new_query_id, valid_query_id
@@ -96,7 +97,8 @@ class _BadRequest(ValueError):
 
 
 def _validate_query_request(request: dict, *, default_engine: str,
-                            default_workers: int | None) -> dict:
+                            default_workers: int | None,
+                            default_backend: str = "auto") -> dict:
     """Normalise a ``/query``-shaped document or raise :class:`_BadRequest`.
 
     Every client-supplied knob is checked for type and range *before*
@@ -142,13 +144,19 @@ def _validate_query_request(request: dict, *, default_engine: str,
     if mode not in ("sync", "async"):
         raise _BadRequest('"mode" must be "sync" or "async", got '
                           f'{mode!r}')
+    backend = request.get("backend", default_backend)
+    if backend not in BACKENDS:
+        raise _BadRequest(
+            '"backend" must be one of '
+            + ", ".join(f'"{name}"' for name in BACKENDS)
+            + f', got {backend!r}')
     trace = request.get("trace", False)
     if not isinstance(trace, bool):
         raise _BadRequest('"trace" must be a boolean, got '
                           f'{trace!r}')
     return {"query": query, "engine": engine, "workers": workers,
             "timeout_s": timeout_s, "max_rows": max_rows,
-            "mode": mode, "trace": trace}
+            "mode": mode, "trace": trace, "backend": backend}
 
 
 class QueryServer:
@@ -165,6 +173,7 @@ class QueryServer:
                  host: str = "127.0.0.1", port: int = 8080,
                  default_engine: str = "compiled",
                  default_workers: int | None = None,
+                 default_backend: str = "auto",
                  max_inflight: int = 8,
                  query_timeout_s: float | None = None,
                  max_rows: int | None = None,
@@ -180,6 +189,7 @@ class QueryServer:
         self.session = session
         self.default_engine = default_engine
         self.default_workers = default_workers
+        self.default_backend = default_backend
         self.drain_grace_s = drain_grace_s
         self.epochs = EpochManager(session, metrics=session.metrics)
         self.service = QueryService(self.epochs,
@@ -564,7 +574,8 @@ class QueryServer:
         try:
             return _validate_query_request(
                 request, default_engine=self.default_engine,
-                default_workers=self.default_workers)
+                default_workers=self.default_workers,
+                default_backend=self.default_backend)
         except _BadRequest as error:
             self._send_json(handler, 400, {"error": str(error)})
             return None
@@ -606,6 +617,7 @@ class QueryServer:
             result = self.service.run(params["query"],
                                       engine=params["engine"],
                                       workers=params["workers"],
+                                      backend=params["backend"],
                                       timeout_s=params["timeout_s"],
                                       max_rows=params["max_rows"],
                                       ctx=ctx)
@@ -698,6 +710,7 @@ class QueryServer:
             job = self.jobs.submit(params["query"],
                                    engine=params["engine"],
                                    workers=params["workers"],
+                                   backend=params["backend"],
                                    timeout_s=params["timeout_s"],
                                    max_rows=params["max_rows"],
                                    query_id=query_id,

@@ -270,6 +270,7 @@ class QueryService:
 
     def run(self, query: str, *, engine: str = "compiled",
             workers: int | None = None,
+            backend: str = "auto",
             timeout_s: float | None = None,
             max_rows: int | None = None,
             epoch: Epoch | None = None,
@@ -279,6 +280,11 @@ class QueryService:
             count_rejection: bool = True,
             ctx=None) -> QueryResult:
         """Admit, pin a snapshot, evaluate under a deadline, release.
+
+        *backend* is handed to
+        :meth:`~repro.session.DeductiveDatabase.query` verbatim —
+        ``"auto"``/``"vector"`` allow the vectorised delta-loop kernel,
+        ``"python"`` pins the tuple-set loop.
 
         Raises :class:`AdmissionRejected` when every slot is busy,
         :class:`ServiceDraining` during shutdown, and
@@ -334,7 +340,8 @@ class QueryService:
                 answers = epoch.session.query(
                     query, stats=stats, engine=engine, workers=workers,
                     trace=ctx.tracer if ctx is not None else None,
-                    query_id=ctx.query_id if ctx is not None else None)
+                    query_id=ctx.query_id if ctx is not None else None,
+                    backend=backend)
             finally:
                 if ctx is not None:
                     ctx.add_phase("engine", engine_started)

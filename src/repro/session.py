@@ -45,6 +45,7 @@ from .engine.seminaive import SemiNaiveEngine
 from .engine.sharded import ShardedSemiNaiveEngine
 from .engine.stats import EvaluationStats
 from .engine.trace import Tracer
+from .engine.vector import validate_backend
 from .ra.answers import AnswerSet
 from .ra.database import Database
 
@@ -297,7 +298,8 @@ class DeductiveDatabase:
               engine: str = "compiled",
               workers: int | None = None,
               trace: Tracer | None = None,
-              query_id: str | None = None) -> frozenset[tuple]:
+              query_id: str | None = None,
+              backend: str = "auto") -> frozenset[tuple]:
         """Answer a query, choosing the evaluation by classification.
 
         EDB predicates are looked up directly; non-recursive views are
@@ -322,19 +324,29 @@ class DeductiveDatabase:
         exemplar; ``repro serve`` passes the request-scoped id so the
         response envelope, log, trace and metrics all correlate.  When
         ``None`` a fresh id is minted per instrumented call.
+
+        *backend* picks the delta-loop execution backend for the
+        fixpoint engines: ``"auto"``/``"vector"`` hand certified plan
+        shapes to the vectorised kernel
+        (:mod:`repro.engine.vector` — numpy when importable, the
+        bit-identical pure-python stub otherwise), ``"python"`` pins
+        the tuple-set loop.  Engines without a delta loop (naive,
+        top-down, edb/view lookups) ignore it.
         """
         if isinstance(query, str):
             query = Query.parse(query)
+        backend = validate_backend(backend)
         if self.metrics is None and self.query_log is None:
             return self._evaluate_query(query, stats, engine, workers,
-                                        trace)
+                                        trace, backend)
         return self._instrumented_query(query, stats, engine, workers,
-                                        trace, query_id)
+                                        trace, query_id, backend)
 
     def _evaluate_query(self, query: Query,
                         stats: EvaluationStats | None,
                         engine: str, workers: int | None,
-                        trace: Tracer | None) -> frozenset[tuple]:
+                        trace: Tracer | None,
+                        backend: str = "auto") -> frozenset[tuple]:
         """Answer-cache wrapper around the evaluation proper.
 
         Successful answer sets are memoised on (query pattern, engine,
@@ -349,8 +361,8 @@ class DeductiveDatabase:
         """
         if trace is not None and not trace.passive:
             return self._evaluate_query_uncached(query, stats, engine,
-                                                 workers, trace)
-        key = (query.predicate, query.pattern, engine, workers,
+                                                 workers, trace, backend)
+        key = (query.predicate, query.pattern, engine, workers, backend,
                self._edb.global_version())
         hit = self._answer_cache.get(key)
         if hit is not None:
@@ -368,7 +380,7 @@ class DeductiveDatabase:
             return answers
         local = stats if stats is not None else EvaluationStats()
         answers = self._evaluate_query_uncached(query, local, engine,
-                                                workers, trace)
+                                                workers, trace, backend)
         if local.truncated:
             # a row-budget abort returned a sound but *partial* set;
             # caching it would serve incomplete answers to later
@@ -385,7 +397,8 @@ class DeductiveDatabase:
     def _evaluate_query_uncached(self, query: Query,
                                  stats: EvaluationStats | None,
                                  engine: str, workers: int | None,
-                                 trace: Tracer | None
+                                 trace: Tracer | None,
+                                 backend: str = "auto"
                                  ) -> frozenset[tuple]:
         """The evaluation itself, free of any telemetry concern."""
         if workers is not None:
@@ -457,8 +470,13 @@ class DeductiveDatabase:
         base = self._materialise_below(predicate)
         if engine != "compiled":
             cls = self.ENGINES[engine]
-            instance = (cls(workers=workers or 0)
-                        if cls is ShardedSemiNaiveEngine else cls())
+            if cls is ShardedSemiNaiveEngine:
+                instance = cls(workers=workers or 0, backend=backend)
+            elif cls is SemiNaiveEngine:
+                instance = cls(backend=backend)
+            else:
+                # naive/top-down have no delta loop to vectorise
+                instance = cls()
             return instance.evaluate(system, base, query, stats,
                                      trace=trace)
         key = (predicate, query.adornment)
@@ -467,8 +485,8 @@ class DeductiveDatabase:
             compiled = compile_query(system, query.adornment,
                                      self.classification(predicate))
             self._plan_cache[key] = compiled
-        return CompiledEngine().evaluate(system, base, query, stats,
-                                         compiled=compiled, trace=trace)
+        return CompiledEngine(backend=backend).evaluate(
+            system, base, query, stats, compiled=compiled, trace=trace)
 
     @staticmethod
     def _relation_answers(db: Database, predicate: str,
@@ -497,7 +515,8 @@ class DeductiveDatabase:
                             stats: EvaluationStats | None,
                             engine: str, workers: int | None,
                             trace: Tracer | None,
-                            query_id: str | None = None
+                            query_id: str | None = None,
+                            backend: str = "auto"
                             ) -> frozenset[tuple]:
         """Evaluate with metrics/log recording around the call.
 
@@ -519,7 +538,7 @@ class DeductiveDatabase:
         started = perf_counter()
         try:
             answers = self._evaluate_query(query, local, engine,
-                                           workers, trace)
+                                           workers, trace, backend)
         except Exception as error:
             duration = perf_counter() - started
             label = self._class_label(query.predicate)

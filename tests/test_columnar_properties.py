@@ -187,9 +187,19 @@ _PARTITION_FIELDS = frozenset({
     "plan_cache_hits", "plan_cache_misses", "hash_lookups",
 })
 
+#: fields that record *which* delta-loop backend ran, not the logical
+#: work done: the interned twin may take the vectorised kernel while
+#: the raw twin cannot (it requires dictionary-encoded rows); every
+#: other counter stays bit-identical across backends (asserted in
+#: tests/test_vector_properties.py)
+_BACKEND_FIELDS = frozenset({"backend", "vector_batches",
+                             "vector_rows"})
+
 
 def _comparable_stats(stats, engine):
     shape = dict(vars(stats))
+    for field in _BACKEND_FIELDS:
+        shape.pop(field, None)
     if engine == "sharded":
         for field in _PARTITION_FIELDS:
             shape.pop(field, None)

@@ -129,6 +129,39 @@ class TestDenseTable:
         db = Database.from_dict({"A": [("a", "b")]}, intern=False)
         assert db.dense_table("A", 0) is None
 
+    def test_buckets_are_uniformly_tuples(self):
+        # regression: dense_table used to mix bucket types — the
+        # shared empty bucket was a tuple while populated buckets
+        # stayed mutable lists, so consumers branching on type (or
+        # aliasing a bucket) saw different behaviour per code
+        db = Database.from_dict({"A": [("a", "b"), ("a", "c"),
+                                       ("b", "c")]})
+        table = db.dense_table("A", 0)
+        assert all(type(bucket) is tuple for bucket in table)
+        empties = [bucket for bucket in table if not bucket]
+        assert empties and all(bucket is empties[0]
+                               for bucket in empties)
+
+    def test_csr_matches_dense_column(self):
+        db = Database.from_dict({"A": [("a", "b"), ("a", "c"),
+                                       ("b", "c")]})
+        column = db.dense_column("A", 0, 1)
+        csr = db.dense_column_csr("A", 0, 1)
+        assert csr is not None
+        values, offsets = csr
+        assert len(offsets) == len(db.symbols) + 1
+        for code in range(len(db.symbols)):
+            start, end = offsets[code], offsets[code + 1]
+            assert sorted(values[start:end]) == sorted(column[code])
+        # version-cached: same object until the relation mutates
+        assert db.dense_column_csr("A", 0, 1) is csr
+        db.bulk("A", [("c", "d")])
+        assert db.dense_column_csr("A", 0, 1) is not csr
+
+    def test_raw_database_has_no_csr(self):
+        db = Database.from_dict({"A": [("a", "b")]}, intern=False)
+        assert db.dense_column_csr("A", 0, 1) is None
+
     def test_invalidated_by_mutation(self):
         db = Database.from_dict({"A": [("a", "b")]})
         stale = db.dense_table("A", 0)
@@ -136,7 +169,9 @@ class TestDenseTable:
         fresh = db.dense_table("A", 0)
         code_z = db.symbols.lookup("z")
         assert fresh is not stale
-        assert fresh[code_z] == [db.encode_row(("z", "z"))]
+        # populated buckets come back frozen (tuples) so every view
+        # built over the dense table is safely shareable
+        assert fresh[code_z] == (db.encode_row(("z", "z")),)
 
 
 class TestSnapshotSize:
@@ -180,9 +215,19 @@ _PARTITION_FIELDS = frozenset({
     "plan_cache_hits", "plan_cache_misses", "hash_lookups",
 })
 
+#: fields naming *which* delta-loop backend ran, not the logical work
+#: done: interned databases may take the vectorised kernel while raw
+#: ones cannot (it requires dictionary-encoded rows); all other
+#: counters stay bit-identical across backends (asserted in
+#: tests/test_vector_properties.py)
+_BACKEND_FIELDS = frozenset({"backend", "vector_batches",
+                             "vector_rows"})
+
 
 def _comparable_stats(stats, engine):
     shape = dict(vars(stats))
+    for field in _BACKEND_FIELDS:
+        shape.pop(field, None)
     if engine == "sharded":
         for field in _PARTITION_FIELDS:
             shape.pop(field, None)

@@ -1,0 +1,257 @@
+"""Vectorised-backend laws: numpy ≡ stub ≡ tuple-set loop.
+
+The vectorised delta-loop kernel (:mod:`repro.engine.vector`) is pure
+representation: whichever implementation runs — the numpy kernel, the
+pure-python ``array``-module stub, or the original tuple-set loop
+pinned by ``backend="python"`` — the answers, the per-round stats
+deltas and the trace shapes must be bit-identical.  Three layers pin
+this down:
+
+* **backend parity** — classes A1–C × the delta-loop engines
+  (semi-naive, compiled, sharded ``workers=0``): numpy vs stub agree
+  on *everything* including the vector work counters; vector vs
+  pinned-python agree on everything except the fields that name which
+  backend ran;
+* **fallback paths** — raw databases, tuple-at-a-time mode, uncertified
+  plan shapes and ``max_rounds`` caps all take the python loop with
+  identical results, and ``backend="python"`` pins it explicitly;
+* **session laws** — ``session.query(backend=...)`` validates the
+  name, keys the answer cache per backend, and returns identical
+  answers either way.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.errors import EvaluationError
+from repro.datalog.parser import parse_system
+from repro.engine import (CompiledEngine, Query, SemiNaiveEngine,
+                          ShardedSemiNaiveEngine)
+from repro.engine.stats import EvaluationStats
+from repro.engine.trace import Tracer
+from repro.engine.vector import (HAVE_NUMPY, active_backend, eligible,
+                                 force_stub, validate_backend)
+from repro.ra.database import Database
+from repro.session import DeductiveDatabase
+from repro.workloads import CATALOGUE, random_edb
+
+#: one catalogue representative per paper class A1 … C
+CLASS_ENTRIES = {
+    "A1": "s2a", "A3": "s4", "A4": "s5", "A5": "s1a",
+    "B": "s8", "C": "s9",
+}
+
+#: the engines that own a delta loop (and may hand it to the kernel)
+ENGINES = {
+    "semi-naive": SemiNaiveEngine,
+    "compiled": CompiledEngine,
+    "sharded": lambda **kw: ShardedSemiNaiveEngine(workers=0, **kw),
+}
+
+
+@contextmanager
+def stub_backend():
+    """Force the pure-python stub for the duration of the block."""
+    force_stub(True)
+    try:
+        yield
+    finally:
+        force_stub(False)
+
+
+def _workload(paper_class, seed, tuples):
+    system = CATALOGUE[CLASS_ENTRIES[paper_class]].system()
+    db = random_edb(system, nodes=5, tuples_per_relation=tuples,
+                    seed=seed)
+    assert db.interned
+    query = Query.all_free(system.predicate, system.dimension)
+    return system, db, query
+
+
+def _run(engine, system, db, query, backend):
+    stats = EvaluationStats()
+    tracer = Tracer()
+    answers = ENGINES[engine](backend=backend).evaluate(
+        system, db.copy(), query, stats, trace=tracer)
+    return answers, stats, tracer
+
+
+def _trace_shape(tracer):
+    trace = tracer.trace
+    return ([(s.kind, s.delta_in, s.delta_out, s.probes, s.derived,
+              s.hash_builds) for s in trace.rounds],
+            {k: v for k, v in trace.meta.items() if k != "backend"})
+
+
+def _stats_shape(stats, *, keep_vector: bool):
+    shape = dict(vars(stats))
+    shape.pop("backend", None)
+    if not keep_vector:
+        shape.pop("vector_batches", None)
+        shape.pop("vector_rows", None)
+    return shape
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("paper_class", sorted(CLASS_ENTRIES))
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @settings(max_examples=2, deadline=None)
+    @given(seed=st.integers(0, 7), tuples=st.integers(4, 10))
+    def test_vector_matches_pinned_python(self, paper_class, engine,
+                                          seed, tuples):
+        system, db, query = _workload(paper_class, seed, tuples)
+        # warm the process-wide plan cache so both runs hit it alike
+        _run(engine, system, db, query, "python")
+        answers_v, stats_v, trace_v = _run(engine, system, db, query,
+                                           "auto")
+        answers_p, stats_p, trace_p = _run(engine, system, db, query,
+                                           "python")
+        assert answers_v == answers_p
+        assert answers_v.encoded == answers_p.encoded
+        assert stats_p.backend == "python"
+        assert stats_p.vector_batches == stats_p.vector_rows == 0
+        assert (_stats_shape(stats_v, keep_vector=False)
+                == _stats_shape(stats_p, keep_vector=False))
+        assert _trace_shape(trace_v) == _trace_shape(trace_p)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+    @pytest.mark.parametrize("paper_class", sorted(CLASS_ENTRIES))
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @settings(max_examples=2, deadline=None)
+    @given(seed=st.integers(0, 7), tuples=st.integers(4, 10))
+    def test_numpy_matches_stub_exactly(self, paper_class, engine,
+                                        seed, tuples):
+        system, db, query = _workload(paper_class, seed, tuples)
+        _run(engine, system, db, query, "python")  # warm plan cache
+        answers_n, stats_n, trace_n = _run(engine, system, db, query,
+                                           "vector")
+        with stub_backend():
+            answers_s, stats_s, trace_s = _run(engine, system, db,
+                                               query, "vector")
+        assert answers_n == answers_s
+        assert answers_n.encoded == answers_s.encoded
+        # everything including the vector work counters is identical;
+        # only the backend name itself may differ (numpy vs stub)
+        assert (_stats_shape(stats_n, keep_vector=True)
+                == _stats_shape(stats_s, keep_vector=True))
+        if stats_n.vector_batches:
+            assert stats_n.backend == "numpy"
+            assert stats_s.backend == "stub"
+        assert _trace_shape(trace_n) == _trace_shape(trace_s)
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 7), cap=st.integers(0, 3))
+    def test_max_rounds_parity(self, seed, cap):
+        system, db, query = _workload("A1", seed, 8)
+        results = {}
+        for backend in ("auto", "python"):
+            stats = EvaluationStats()
+            answers = SemiNaiveEngine(backend=backend).evaluate(
+                system, db.copy(), query, stats, max_rounds=cap)
+            results[backend] = (frozenset(answers), stats.rounds,
+                                tuple(stats.delta_sizes))
+        assert results["auto"] == results["python"]
+
+
+class TestFallbackPaths:
+    def test_raw_database_stays_python(self):
+        system = parse_system("P(x, y) :- A(x, z), P(z, y).")
+        db = Database.from_dict(
+            {"A": [("a", "b"), ("b", "c")], "P__exit": [("c", "c")]},
+            intern=False)
+        assert not eligible(db, system.recursive.recursive_atom.args)
+        stats = EvaluationStats()
+        answers = SemiNaiveEngine(backend="vector").evaluate(
+            system, db, None, stats)
+        assert stats.backend == "python"
+        assert stats.vector_batches == 0
+        assert answers == {("a", "c"), ("b", "c"), ("c", "c")}
+
+    def test_tuple_at_a_time_never_vectorises(self):
+        system, db, query = _workload("A1", 0, 6)
+        stats = EvaluationStats()
+        SemiNaiveEngine(set_at_a_time=False,
+                        backend="vector").evaluate(
+            system, db.copy(), query, stats)
+        assert stats.backend == "python"
+        assert stats.vector_batches == 0
+
+    def test_sharded_with_workers_keeps_round_hook(self):
+        # the sharded engine must never delegate the whole loop (that
+        # would bypass partitioned rounds); it still answers the same
+        system, db, query = _workload("A1", 1, 8)
+        stats = EvaluationStats()
+        answers = ShardedSemiNaiveEngine(
+            workers=0, backend="vector").evaluate(
+            system, db.copy(), query, stats)
+        assert stats.backend == "python"
+        assert stats.vector_batches == 0
+        reference = SemiNaiveEngine(backend="python").evaluate(
+            system, db.copy(), query)
+        assert answers == reference
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EvaluationError):
+            SemiNaiveEngine(backend="gpu")
+        with pytest.raises(EvaluationError):
+            validate_backend("cuda")
+        assert validate_backend("auto") == "auto"
+
+    def test_active_backend_reports_stub_when_forced(self):
+        before = active_backend()
+        with stub_backend():
+            assert active_backend() == "stub"
+        assert active_backend() == before
+
+
+class TestSessionLaws:
+    def _session(self):
+        session = DeductiveDatabase()
+        session.load("""
+            anc(x, y) :- par(x, z), anc(z, y).
+            anc(x, y) :- par(x, y).
+            par(a, b). par(b, c). par(c, d).
+        """)
+        return session
+
+    @pytest.mark.parametrize("engine",
+                             ["semi-naive", "compiled", "sharded"])
+    def test_query_backends_agree(self, engine):
+        session = self._session()
+        vector = session.query("anc(X, Y)", engine=engine,
+                               backend="vector")
+        python = session.query("anc(X, Y)", engine=engine,
+                               backend="python")
+        assert vector == python
+        assert len(vector) == 6
+
+    def test_bound_query_backends_agree(self):
+        session = self._session()
+        assert (session.query("anc(a, Y)", engine="semi-naive",
+                              backend="vector")
+                == session.query("anc(a, Y)", engine="semi-naive",
+                                 backend="python"))
+
+    def test_answer_cache_keyed_by_backend(self):
+        session = self._session()
+        for backend in ("vector", "python"):
+            session.query("anc(X, Y)", engine="semi-naive",
+                          backend=backend)
+        stats = EvaluationStats()
+        session.query("anc(X, Y)", engine="semi-naive",
+                      backend="vector", stats=stats)
+        assert stats.answer_cache_hits == 1
+        stats = EvaluationStats()
+        session.query("anc(X, Y)", engine="semi-naive",
+                      backend="python", stats=stats)
+        assert stats.answer_cache_hits == 1
+
+    def test_invalid_backend_raises(self):
+        session = self._session()
+        with pytest.raises(EvaluationError):
+            session.query("anc(X, Y)", backend="gpu")
